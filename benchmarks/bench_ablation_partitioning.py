@@ -1,0 +1,94 @@
+"""A1 — DAS partitioning ablation: efficiency vs inference exposure.
+
+Section 6: "Small partitions with only a few values are more efficient
+(less post-processing is necessary) but can leak confidential
+information (see [15] and [8])."  Sweeping the bucket count produces the
+two opposing curves: false-positive rate (client post-processing) falls
+while inference exposure rises — meeting at singleton partitions, which
+are exact but identify each value.
+"""
+
+from conftest import write_report
+
+from repro import DASConfig, run_join_query
+from repro.analysis.inference import das_efficiency, partition_exposure
+from repro.relational.datagen import WorkloadSpec, generate
+
+QUERY = "select * from R1 natural join R2"
+BUCKETS = (1, 2, 4, 8, 16)
+
+
+def _workload():
+    return generate(
+        WorkloadSpec(
+            domain_1=16,
+            domain_2=16,
+            overlap=8,
+            rows_per_value_1=2,
+            rows_per_value_2=2,
+            seed=41,
+        )
+    )
+
+
+def test_partitioning_tradeoff_sweep(benchmark, make_federation):
+    workload = _workload()
+
+    def sweep():
+        points = []
+        for buckets in BUCKETS:
+            result = run_join_query(
+                make_federation(workload),
+                QUERY,
+                protocol="das",
+                config=DASConfig(buckets=buckets, strategy="equi_depth"),
+            )
+            efficiency = das_efficiency(result)
+            table = result.artifacts["index_tables"]["S1"]
+            exposure = partition_exposure(table, workload.relation_1)
+            points.append((buckets, efficiency, exposure))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    exposures = [exposure.value_exposure for _, _, exposure in points]
+    false_positive_rates = [
+        efficiency.false_positive_rate for _, efficiency, _ in points
+    ]
+    # Exposure rises monotonically with finer partitioning...
+    assert exposures == sorted(exposures)
+    # ...while post-processing waste falls (weakly) monotonically.
+    assert false_positive_rates == sorted(false_positive_rates, reverse=True)
+    # The limit cases the paper highlights:
+    assert exposures[0] <= 1 / 8  # one bucket: near-anonymous values
+    assert false_positive_rates[-1] <= false_positive_rates[0]
+
+    lines = [
+        "A1 - DAS partition granularity: efficiency vs inference exposure",
+        f"{'buckets':>8s} {'false-pos rate':>14s} {'value exposure':>15s} "
+        f"{'|R_C|':>6s} {'exact':>6s}",
+    ]
+    for buckets, efficiency, exposure in points:
+        lines.append(
+            f"{buckets:>8d} {efficiency.false_positive_rate:>14.3f} "
+            f"{exposure.value_exposure:>15.3f} "
+            f"{efficiency.server_result_size:>6d} "
+            f"{efficiency.exact_join_size:>6d}"
+        )
+    write_report("ablation_partitioning.txt", "\n".join(lines))
+
+
+def test_singleton_limit_case(make_federation):
+    """Singleton partitioning: zero waste, total exposure."""
+    workload = _workload()
+    result = run_join_query(
+        make_federation(workload),
+        QUERY,
+        protocol="das",
+        config=DASConfig(strategy="singleton"),
+    )
+    efficiency = das_efficiency(result)
+    assert efficiency.false_positives == 0
+    table = result.artifacts["index_tables"]["S1"]
+    exposure = partition_exposure(table, workload.relation_1)
+    assert exposure.value_exposure == 1.0

@@ -1,0 +1,113 @@
+"""E6 — Section 6 performance ranking, swept over workload size.
+
+The paper concludes "the commutative approach seems to be the most
+efficient one to be employed in a secure mediation system" and calls the
+PM polynomial evaluation "quite expensive".  This bench sweeps the
+active-domain size, times each protocol end-to-end, and checks the
+qualitative ordering: commutative cheapest in protocol-step time, PM the
+expensive outlier, with the gap growing with the domain size.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro import run_join_query
+from repro.analysis.comparison import measure
+from repro.relational.datagen import WorkloadSpec, generate
+
+QUERY = "select * from R1 natural join R2"
+DOMAIN_SIZES = (6, 12, 24)
+
+
+def _workload(domain):
+    return generate(
+        WorkloadSpec(
+            domain_1=domain,
+            domain_2=domain,
+            overlap=domain // 2,
+            rows_per_value_1=2,
+            rows_per_value_2=2,
+            seed=600 + domain,
+        )
+    )
+
+
+@pytest.mark.parametrize("protocol", ["das", "commutative", "private-matching"])
+def test_protocol_wall_clock(benchmark, make_federation, protocol):
+    """pytest-benchmark series: one end-to-end run at the middle size."""
+    workload = _workload(12)
+    benchmark.pedantic(
+        lambda: run_join_query(
+            make_federation(workload), QUERY, protocol=protocol
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_section6_ranking_sweep(make_federation):
+    """The qualitative shape across the domain sweep."""
+    lines = [
+        "Section 6 performance sweep (protocol-step seconds, bytes on wire)",
+        f"{'|dom|':>6s} {'protocol':30s} {'seconds':>9s} {'bytes':>10s} "
+        f"{'crypto-ops':>10s}",
+    ]
+    ratios = []
+    for domain in DOMAIN_SIZES:
+        workload = _workload(domain)
+        rows = {}
+        for protocol in ("das", "commutative", "private-matching"):
+            result = run_join_query(
+                make_federation(workload), QUERY, protocol=protocol
+            )
+            row = measure(result)
+            rows[protocol] = row
+            lines.append(
+                f"{domain:>6d} {row.protocol:30s} {row.total_seconds:>9.4f} "
+                f"{row.total_bytes:>10d} {row.crypto_operations:>10d}"
+            )
+        # The paper's ranking: PM is the expensive outlier at every size.
+        assert rows["private-matching"].total_seconds > (
+            rows["commutative"].total_seconds
+        )
+        assert rows["private-matching"].crypto_operations > (
+            rows["das"].crypto_operations
+        )
+        ratios.append(
+            rows["private-matching"].total_seconds
+            / max(rows["commutative"].total_seconds, 1e-9)
+        )
+    # PM's polynomial evaluation is quadratic in the domain size, so its
+    # disadvantage must grow along the sweep.
+    assert ratios[-1] > ratios[0]
+    lines.append(
+        f"\nPM/commutative time ratio along the sweep: "
+        + " -> ".join(f"{r:.1f}x" for r in ratios)
+    )
+    write_report("section6_performance.txt", "\n".join(lines))
+
+
+def test_commutative_cheapest_crypto_among_interactive(make_federation):
+    """Source-side extra computation: 'only a small extra computation to
+    encrypt their hash values and the hash values of the other
+    datasource' — commutative crypto op count grows linearly with the
+    domains, PM quadratically."""
+    small, large = _workload(6), _workload(24)
+    counts = {}
+    for name, workload in (("small", small), ("large", large)):
+        for protocol in ("commutative", "private-matching"):
+            result = run_join_query(
+                make_federation(workload), QUERY, protocol=protocol
+            )
+            counts[(name, protocol)] = sum(
+                count
+                for op, count in result.primitive_counter.counts.items()
+                if op.startswith(("commutative.", "paillier.", "homomorphic."))
+            )
+    commutative_growth = counts[("large", "commutative")] / counts[
+        ("small", "commutative")
+    ]
+    pm_growth = counts[("large", "private-matching")] / counts[
+        ("small", "private-matching")
+    ]
+    assert pm_growth > commutative_growth

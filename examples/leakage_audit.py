@@ -1,0 +1,100 @@
+"""Leakage audit: reproducing Tables 1 and 2 from live transcripts.
+
+Runs all three protocols, derives every Table-1 cell from the actual
+mediator/client views, audits the primitive counters for Table 2, checks
+Listing 1-4 flow conformance and the Figure 1/2 star topology, and scans
+the mediator's received bytes for plaintext tuples.
+
+It finishes by demonstrating *why* the paper's client setting matters:
+in the insecure mediator-setting DAS baseline the very same scan finds
+the partition contents (join-attribute values) in the mediator's view.
+
+Run:  python examples/leakage_audit.py
+"""
+
+from repro import (
+    CertificationAuthority,
+    DASConfig,
+    Federation,
+    run_join_query,
+    setup_client,
+)
+from repro.analysis import (
+    analyze,
+    architecture_edges,
+    check_flow,
+    primitive_profile,
+    table1,
+    table2,
+    verify_no_plaintext_leak,
+)
+from repro.mediation.access_control import allow_all
+from repro.mediation.client import default_homomorphic_scheme
+from repro.relational.datagen import medical_workload
+
+
+def build_federation(workload) -> Federation:
+    ca = CertificationAuthority(key_bits=1024)
+    federation = Federation(ca=ca)
+    federation.add_source("clinic", [(workload.relation_1, allow_all())])
+    federation.add_source("lab", [(workload.relation_2, allow_all())])
+    federation.attach_client(
+        setup_client(
+            ca,
+            "auditor",
+            {("role", "auditor")},
+            rsa_bits=1024,
+            homomorphic_scheme=default_homomorphic_scheme(1024),
+        )
+    )
+    return federation
+
+
+def main() -> None:
+    workload = medical_workload()
+    query = "select * from clinic natural join lab"
+    relations = [workload.relation_1, workload.relation_2]
+
+    reports, profiles = [], []
+    for protocol in ("das", "commutative", "private-matching"):
+        result = run_join_query(build_federation(workload), query, protocol=protocol)
+        reports.append(analyze(result))
+        profiles.append(primitive_profile(result))
+        flow = check_flow(result)
+        topology = architecture_edges(result)
+        leaks = verify_no_plaintext_leak(result, relations)
+        print(
+            f"{result.protocol:32s} flow-conforms={flow.conforms} "
+            f"topology-ok={all(topology.values())} plaintext-leaks={len(leaks)}"
+        )
+
+    print()
+    print(table1(reports))
+    print()
+    print(table2(profiles))
+
+    # The cautionary tale: the mediator-setting DAS baseline.
+    print("\n--- insecure baseline: DAS with the translator at the mediator ---")
+    result = run_join_query(
+        build_federation(workload),
+        query,
+        protocol="das",
+        config=DASConfig(setting="mediator"),
+    )
+    leaks = verify_no_plaintext_leak(result, relations)
+    print(
+        f"{result.protocol}: plaintext items visible to the mediator: "
+        f"{len(leaks)}"
+    )
+    for leak in leaks[:5]:
+        print(f"  {leak}")
+    if len(leaks) > 5:
+        print(f"  ... and {len(leaks) - 5} more")
+    print(
+        "\n=> exactly the paper's warning: 'it is crucial to encrypt the "
+        "index table and let the query translator reside on client side'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Successive joins across a mediator hierarchy (Section 8 extension).
+
+Three datasources hold supplier, shipment, and customs records sharing a
+``consignment`` key.  The three-way natural join executes as two
+successive secure joins: the first stage's (still client-encrypted, then
+client-decrypted) result is re-hosted behind a delegate datasource — the
+lower mediator acting as a datasource for the upper mediator — and
+joined with the third relation.
+
+Run:  python examples/mediator_hierarchy.py
+"""
+
+from repro import CertificationAuthority, Federation, setup_client
+from repro.core.hierarchy import run_successive_joins
+from repro.mediation.access_control import allow_all
+from repro.relational import relation, schema
+
+
+def build_federation() -> Federation:
+    ca = CertificationAuthority(key_bits=1024)
+    federation = Federation(ca=ca)
+
+    suppliers = relation(
+        schema("suppliers", consignment="string", supplier="string"),
+        [
+            ("c-100", "acme"),
+            ("c-101", "globex"),
+            ("c-102", "initech"),
+        ],
+    )
+    shipments = relation(
+        schema("shipments", consignment="string", vessel="string", port="string"),
+        [
+            ("c-100", "maria", "rotterdam"),
+            ("c-101", "kestrel", "hamburg"),
+            ("c-103", "maria", "antwerp"),
+        ],
+    )
+    customs = relation(
+        schema("customs", consignment="string", status="string"),
+        [
+            ("c-100", "cleared"),
+            ("c-101", "inspection"),
+            ("c-102", "cleared"),
+        ],
+    )
+    federation.add_source("supplier-registry", [(suppliers, allow_all())])
+    federation.add_source("port-authority", [(shipments, allow_all())])
+    federation.add_source("customs-office", [(customs, allow_all())])
+    federation.attach_client(
+        setup_client(ca, "trade-analyst", {("role", "analyst")}, rsa_bits=1024)
+    )
+    return federation
+
+
+def main() -> None:
+    federation = build_federation()
+    query = (
+        "select * from suppliers natural join shipments natural join customs"
+    )
+    outcome = run_successive_joins(federation, query, protocol="commutative")
+    print(f"query: {query}")
+    print(f"stages: {len(outcome.stages)}")
+    for index, stage in enumerate(outcome.stages, start=1):
+        print(
+            f"  stage {index}: {stage.protocol}, "
+            f"{len(stage.global_result)} rows, "
+            f"{stage.total_bytes()} bytes on the wire"
+        )
+    print()
+    print(outcome.global_result.pretty())
+
+
+if __name__ == "__main__":
+    main()

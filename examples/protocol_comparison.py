@@ -1,0 +1,88 @@
+"""Section-6-style protocol comparison on a synthetic workload.
+
+Generates a parameterized workload, runs all three delivery protocols
+(plus the footnote variants) on fresh federations, and prints the
+measured comparison table: interaction counts, client-received units,
+traffic, crypto operations and wall-clock seconds — the quantities
+behind the paper's qualitative ranking ("the commutative approach seems
+to be the most efficient one").
+
+Run:  python examples/protocol_comparison.py [domain_size]
+"""
+
+import sys
+
+from repro import (
+    CertificationAuthority,
+    CommutativeConfig,
+    DASConfig,
+    Federation,
+    PMConfig,
+    setup_client,
+)
+from repro.analysis import compare, render
+from repro.mediation.access_control import allow_all
+from repro.mediation.client import default_homomorphic_scheme
+from repro.relational.datagen import WorkloadSpec, generate
+
+
+def main() -> None:
+    domain = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    workload = generate(
+        WorkloadSpec(
+            domain_1=domain,
+            domain_2=domain,
+            overlap=domain // 2,
+            rows_per_value_1=2,
+            rows_per_value_2=2,
+            payload_attributes=2,
+            seed=42,
+        )
+    )
+
+    def federation_factory() -> Federation:
+        ca = CertificationAuthority(key_bits=1024)
+        federation = Federation(ca=ca)
+        federation.add_source("S1", [(workload.relation_1, allow_all())])
+        federation.add_source("S2", [(workload.relation_2, allow_all())])
+        federation.attach_client(
+            setup_client(
+                ca,
+                "analyst",
+                {("role", "analyst")},
+                rsa_bits=1024,
+                homomorphic_scheme=default_homomorphic_scheme(1024),
+            )
+        )
+        return federation
+
+    protocols = [
+        ("das", DASConfig(buckets=4)),
+        ("das", DASConfig(strategy="singleton")),
+        ("commutative", CommutativeConfig()),
+        ("commutative", CommutativeConfig(use_tuple_ids=True)),
+        ("private-matching", PMConfig()),
+        ("private-matching", PMConfig(payload_mode="inline")),
+    ]
+    print(
+        f"workload: |dom1|=|dom2|={domain}, overlap={domain // 2}, "
+        f"|R1|={len(workload.relation_1)}, |R2|={len(workload.relation_2)}, "
+        f"expected join={workload.expected_join_size}\n"
+    )
+    rows = compare(federation_factory, "select * from R1 natural join R2", protocols)
+    print(render(rows))
+    print(
+        "\nSection 6 shape checks:\n"
+        f"  client interacts twice in DAS:       "
+        f"{rows[0].client_interactions == 2}\n"
+        f"  sources interact once in DAS:        "
+        f"{rows[0].max_source_interactions == 1}\n"
+        f"  sources interact twice elsewhere:    "
+        f"{all(r.max_source_interactions == 2 for r in rows[2:])}\n"
+        f"  commutative client gets exact sets:  "
+        f"{rows[2].client_received_units <= rows[0].client_received_units}\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: one mediated join query under all three protocols.
+
+Builds a tiny federation — two datasources, one mediator, one client
+with CA-issued credentials — and runs the same global JOIN query under
+the DAS, commutative-encryption, and private-matching delivery phases.
+Each run's decrypted global result is identical; what differs is the
+transcript (bytes, messages, interactions), which is printed per run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CertificationAuthority,
+    Federation,
+    run_join_query,
+    setup_client,
+)
+from repro.mediation.access_control import allow_all
+from repro.mediation.client import default_homomorphic_scheme
+from repro.relational import relation, schema
+
+
+def build_federation() -> Federation:
+    """Two sources: patient registrations and lab results."""
+    ca = CertificationAuthority(key_bits=1024)
+    federation = Federation(ca=ca)
+
+    patients = relation(
+        schema("patients", patient="string", ward="string"),
+        [
+            ("ada", "cardiology"),
+            ("grace", "oncology"),
+            ("alan", "cardiology"),
+            ("edsger", "neurology"),
+        ],
+    )
+    labs = relation(
+        schema("labs", patient="string", test="string", outcome="string"),
+        [
+            ("ada", "ecg", "normal"),
+            ("ada", "troponin", "elevated"),
+            ("grace", "biopsy", "benign"),
+            ("linus", "x-ray", "normal"),
+        ],
+    )
+    federation.add_source("hospital-A", [(patients, allow_all())])
+    federation.add_source("lab-B", [(labs, allow_all())])
+
+    client = setup_client(
+        ca,
+        identity="dr-noether",
+        properties={("role", "physician"), ("clearance", "medical")},
+        rsa_bits=1024,
+        homomorphic_scheme=default_homomorphic_scheme(key_bits=1024),
+    )
+    federation.attach_client(client)
+    return federation
+
+
+def main() -> None:
+    query = "select * from patients natural join labs"
+    print(f"global query: {query}\n")
+
+    for protocol in ("das", "commutative", "private-matching"):
+        federation = build_federation()
+        result = run_join_query(federation, query, protocol=protocol)
+        print("=" * 72)
+        print(result.summary())
+        print()
+        print(result.global_result.pretty())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Comparing the mediated protocols with their two-party originals.
+
+The paper adapts two-party constructions (Agrawal et al. [1], Freedman
+et al. [12]) to the mediated setting. This example runs both variants on
+the same data and contrasts:
+
+* who learns the intersection *values* (the two-party receiver — a data
+  party — vs nobody but the querying client in the mediated version),
+* the traffic cost of routing everything through the mediator,
+* how the transcripts differ under LAN vs satellite network models.
+
+Run:  python examples/two_party_vs_mediated.py
+"""
+
+from repro import CertificationAuthority, Federation, run_join_query, setup_client
+from repro.baselines import two_party_equijoin
+from repro.mediation.access_control import allow_all
+from repro.mediation.costmodel import LAN, WAN
+from repro.relational import relation, schema
+
+
+def build_data():
+    suppliers = relation(
+        schema("suppliers", part="string", supplier="string"),
+        [
+            ("bolt-m4", "acme"),
+            ("nut-m4", "acme"),
+            ("washer-8", "globex"),
+            ("rivet-3", "initech"),
+        ],
+    )
+    orders = relation(
+        schema("orders", part="string", quantity="int"),
+        [
+            ("bolt-m4", 1200),
+            ("washer-8", 300),
+            ("gasket-x", 50),
+        ],
+    )
+    return suppliers, orders
+
+
+def main() -> None:
+    suppliers, orders = build_data()
+
+    # --- Two-party baseline: the supplier registry acts as receiver and
+    # learns which parts are shared, plus the matching order tuples.
+    baseline = two_party_equijoin(suppliers, orders, ("part",))
+    print("== two-party Agrawal equijoin ==")
+    print(f"receiver learned shared parts: "
+          f"{[key[0] for key in baseline.intersection]}")
+    print(baseline.joined.pretty())
+    print(f"traffic: {baseline.network.total_bytes()} bytes over "
+          f"{len(baseline.network.transcript)} messages\n")
+
+    # --- Mediated version: same join, but neither source learns the
+    # other's parts; the untrusted mediator matches blindly.
+    ca = CertificationAuthority(key_bits=1024)
+    federation = Federation(ca=ca)
+    federation.add_source("registry", [(suppliers, allow_all())])
+    federation.add_source("purchasing", [(orders, allow_all())])
+    federation.attach_client(
+        setup_client(ca, "auditor", {("role", "auditor")}, rsa_bits=1024)
+    )
+    mediated = run_join_query(
+        federation, "select * from suppliers natural join orders",
+        protocol="commutative",
+    )
+    print("== mediated commutative protocol ==")
+    print(mediated.global_result.pretty())
+    print(f"traffic: {mediated.total_bytes()} bytes over "
+          f"{len(mediated.network.transcript)} messages")
+    print(f"mediator learned only counts: intersection_size="
+          f"{mediated.artifacts['intersection_size']}\n")
+
+    print("== estimated transfer seconds ==")
+    for model in (LAN, WAN):
+        print(
+            f"{model.name:>4s}: two-party "
+            f"{model.transcript_cost(baseline.network):.4f}s, mediated "
+            f"{model.transcript_cost(mediated.network):.4f}s"
+        )
+    print(
+        "\nMediation costs traffic and rounds; it buys the paper's "
+        "trust model: the matching party sees only ciphertexts."
+    )
+
+
+if __name__ == "__main__":
+    main()

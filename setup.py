@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` path (``--no-use-pep517``).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — Secure Mediation of Join Queries by Processing Ciphertexts.
+
+A complete reproduction of Biskup, Tsatedem, Wiese (ICDE Workshops 2007):
+a mediated information system in which an untrusted mediator computes
+JOIN queries over *encrypted* partial results, under three delivery
+protocols — DAS bucketization, commutative encryption, and private
+matching with homomorphic encryption — plus the credential-based access
+control architecture they are embedded in.
+
+Quickstart::
+
+    from repro import Federation, CertificationAuthority, setup_client
+    from repro import run_join_query
+    from repro.mediation.access_control import allow_all
+    from repro.relational import schema, relation
+
+    ca = CertificationAuthority()
+    federation = Federation(ca=ca)
+    federation.add_source("S1", [(relation_1, allow_all())])
+    federation.add_source("S2", [(relation_2, allow_all())])
+    federation.attach_client(setup_client(ca, "alice", {("role", "analyst")}))
+
+    result = run_join_query(
+        federation, "select * from R1 natural join R2",
+        protocol="commutative",
+    )
+    print(result.global_result.pretty())
+"""
+
+from repro.core import (
+    CommutativeConfig,
+    DASConfig,
+    Federation,
+    MediationResult,
+    PMConfig,
+    reference_join,
+    run_join_query,
+)
+from repro.mediation import CertificationAuthority, setup_client
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CertificationAuthority",
+    "CommutativeConfig",
+    "DASConfig",
+    "Federation",
+    "MediationResult",
+    "PMConfig",
+    "reference_join",
+    "run_join_query",
+    "setup_client",
+    "__version__",
+]

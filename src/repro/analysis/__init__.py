@@ -1,0 +1,46 @@
+"""Evaluation analyses reproducing the paper's Tables, Figures and §6.
+
+* :mod:`~repro.analysis.views` — party-view byte material and roles
+* :mod:`~repro.analysis.leakage` — Table 1 from actual transcripts
+* :mod:`~repro.analysis.primitives` — Table 2 from primitive counters
+* :mod:`~repro.analysis.conformance` — Listing 1-4 / Figure 1-2 checks
+* :mod:`~repro.analysis.comparison` — Section 6 performance quantities
+* :mod:`~repro.analysis.inference` — DAS partition-inference ablation
+* :mod:`~repro.analysis.statistics` — ciphertext uniformity checks
+* :mod:`~repro.analysis.export` — JSON audit records of protocol runs
+"""
+
+from repro.analysis.comparison import ComparisonRow, compare, measure, render
+from repro.analysis.export import export_run, export_run_json
+from repro.analysis.conformance import architecture_edges, check_flow
+from repro.analysis.leakage import (
+    LeakageReport,
+    analyze,
+    table1,
+    verify_no_plaintext_leak,
+)
+from repro.analysis.primitives import PrimitiveProfile, primitive_profile, table2
+from repro.analysis.statistics import (
+    commutative_tag_spread,
+    mediator_ciphertext_uniformity,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "LeakageReport",
+    "PrimitiveProfile",
+    "analyze",
+    "architecture_edges",
+    "check_flow",
+    "commutative_tag_spread",
+    "compare",
+    "export_run",
+    "export_run_json",
+    "measure",
+    "mediator_ciphertext_uniformity",
+    "primitive_profile",
+    "render",
+    "table1",
+    "table2",
+    "verify_no_plaintext_leak",
+]

@@ -1,0 +1,26 @@
+"""Two-party baseline protocols the paper adapts.
+
+The mediated protocols of Sections 4 and 5 are adaptations of two-party
+originals; implementing the originals gives the natural baselines for
+comparing what mediation adds and costs:
+
+* :mod:`~repro.baselines.agrawal` — Agrawal/Evfimievski/Srikant [1]:
+  commutative-encryption intersection and equijoin between a *sender*
+  and a *receiver* (the receiver learns the matching data — and the
+  plaintext intersection values, unlike the mediated client-only view).
+* :mod:`~repro.baselines.fnp` — Freedman/Nissim/Pinkas [12]: private
+  matching between a *chooser* and a *sender* via oblivious polynomial
+  evaluation.
+"""
+
+from repro.baselines.agrawal import (
+    two_party_equijoin,
+    two_party_intersection,
+)
+from repro.baselines.fnp import two_party_private_matching
+
+__all__ = [
+    "two_party_equijoin",
+    "two_party_intersection",
+    "two_party_private_matching",
+]

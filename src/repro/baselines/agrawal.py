@@ -1,0 +1,220 @@
+"""The Agrawal-Evfimievski-Srikant two-party protocols (baseline, [1]).
+
+Two semi-honest parties — a **receiver** R and a **sender** S — each
+hold a value set; the receiver is to learn the intersection (or, for the
+equijoin, the sender tuples joining with its own) and nothing else
+beyond |V_S|.  The commutative-encryption machinery is the same our
+mediated Listing-3 protocol uses; what differs is the trust topology:
+
+* here, the *receiver itself* matches double-encrypted values and learns
+  the plaintext intersection values;
+* in the mediated adaptation, matching moves to the untrusted mediator,
+  which learns only *counts*, and the client learns the result without
+  either source learning the other's data.
+
+That contrast is exactly what benchmark A6 measures.
+
+Protocol (intersection), with f the commutative cipher and h the ideal
+hash:
+
+1. R -> S: Y_R = { f_eR(h(v)) : v in V_R }   (shuffled)
+2. S -> R: Y_S = { f_eS(h(u)) : u in V_S }   (shuffled), and
+           Z_R = { (y, f_eS(y)) : y in Y_R }
+3. R computes f_eR(y') for every y' in Y_S and intersects with
+   { f_eS(f_eR(h(v))) } from Z_R: commutativity makes the double
+   encryptions of equal values collide, so R identifies which of *its
+   own* v are shared.
+
+For the equijoin the sender additionally attaches, per value, its tuple
+set encrypted under a value-derived key K(u) = KDF(f_eS2(h2(u))) using a
+*second* commutative key pair, and supplies the receiver with
+f_eS2(h2(v))-values for the receiver's (blinded) inputs so exactly the
+matching payloads can be opened.  We implement the payload channel with
+the session-key KDF directly on the double-encrypted tag — equivalent
+key-derivation structure, one key pair fewer (documented simplification).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.joinkeys import JoinKey, encode_key, group_by_key
+from repro.crypto import commutative as comm
+from repro.crypto import groups, hybrid
+from repro.crypto.hashes import IdealHash, expand
+from repro.crypto.numtheory import int_to_bytes
+from repro.mediation.network import Network
+from repro.relational.encoding import decode_rows, encode_rows
+from repro.relational.relation import Relation
+
+RECEIVER = "receiver"
+SENDER = "sender"
+
+
+@dataclass
+class TwoPartyResult:
+    """Outcome of one two-party baseline run."""
+
+    #: What the receiver learned (values, or joined relation).
+    intersection: tuple[JoinKey, ...] = ()
+    joined: Relation | None = None
+    network: Network = field(default_factory=Network)
+    #: Cardinalities disclosed by construction.
+    receiver_set_size: int = 0
+    sender_set_size: int = 0
+
+
+def _setup(group_bits: int) -> tuple[comm.CommutativeGroup, IdealHash, Network]:
+    group = groups.commutative_group(group_bits)
+    network = Network()
+    network.register(RECEIVER)
+    network.register(SENDER)
+    return group, IdealHash(group.p), network
+
+
+def _shuffled(items: list) -> list:
+    shuffled = list(items)
+    random.SystemRandom().shuffle(shuffled)
+    return shuffled
+
+
+def two_party_intersection(
+    receiver_keys: set[JoinKey],
+    sender_keys: set[JoinKey],
+    group_bits: int = groups.TEST_GROUP_BITS,
+) -> TwoPartyResult:
+    """The [1] intersection protocol; the receiver learns V_R ∩ V_S."""
+    group, ideal_hash, network = _setup(group_bits)
+    key_r = comm.generate_key(group)
+    key_s = comm.generate_key(group)
+
+    # Step 1: receiver blinds its values and sends them.
+    receiver_order = list(receiver_keys)
+    blinded_r = [comm.apply(key_r, ideal_hash(encode_key(k))) for k in receiver_order]
+    network.send(RECEIVER, SENDER, "blinded_set", _shuffled(blinded_r))
+
+    # Step 2: sender returns its own blinded set plus the double
+    # encryptions of the receiver's, keyed by the received value so the
+    # receiver keeps the correspondence.
+    blinded_s = [comm.apply(key_s, ideal_hash(encode_key(k))) for k in sender_keys]
+    network.send(SENDER, RECEIVER, "blinded_set", _shuffled(blinded_s))
+    double_of_r = {y: comm.apply(key_s, y) for y in blinded_r}
+    network.send(SENDER, RECEIVER, "double_encrypted_pairs", double_of_r)
+
+    # Step 3: receiver raises the sender's singles and matches.
+    doubles_of_s = {comm.apply(key_r, y) for y in blinded_s}
+    intersection = tuple(
+        sorted(
+            (
+                key
+                for key, blinded in zip(receiver_order, blinded_r)
+                if double_of_r[blinded] in doubles_of_s
+            ),
+            key=lambda k: tuple((type(v).__name__, v) for v in k),
+        )
+    )
+    return TwoPartyResult(
+        intersection=intersection,
+        network=network,
+        receiver_set_size=len(receiver_keys),
+        sender_set_size=len(sender_keys),
+    )
+
+
+def _payload_key(sender_tag: int) -> bytes:
+    """Value-derived sealing key K(u) = KDF(f_eS(h(u)))."""
+    return expand(int_to_bytes(sender_tag), 32, tag=b"agrawal/payload-key")
+
+
+def _handle(key: bytes) -> bytes:
+    """Deterministic lookup handle derivable only from the sealing key."""
+    return expand(key, 16, tag=b"agrawal/handle")
+
+
+def two_party_equijoin(
+    receiver_relation: Relation,
+    sender_relation: Relation,
+    join_attributes: tuple[str, ...],
+    group_bits: int = groups.TEST_GROUP_BITS,
+) -> TwoPartyResult:
+    """The [1] equijoin: the receiver learns the sender tuples that join.
+
+    Key derivation follows [1]'s kappa(v)-construction: each sender
+    tuple set is sealed under ``K(u) = KDF(f_eS(h(u)))``.  The sender
+    never reveals its single encryptions directly; the receiver obtains
+    ``f_eS(h(v))`` only for *its own* values, by stripping its key from
+    the double encryptions the sender returns — so only matching seals
+    can be opened, and unmatched sender values stay hidden.
+    """
+    group, ideal_hash, network = _setup(group_bits)
+    key_r = comm.generate_key(group)
+    key_s = comm.generate_key(group)
+
+    receiver_groups = group_by_key(receiver_relation, join_attributes)
+    sender_groups = group_by_key(sender_relation, join_attributes)
+    receiver_order = list(receiver_groups)
+    blinded_r = [
+        comm.apply(key_r, ideal_hash(encode_key(k))) for k in receiver_order
+    ]
+    network.send(RECEIVER, SENDER, "blinded_set", _shuffled(blinded_r))
+
+    # Sender: seal every tuple set under its value-derived key; ship
+    # (handle, ciphertext) pairs plus the double encryptions of the
+    # receiver's blinded values.
+    sealed: dict[bytes, bytes] = {}
+    for sender_key, rows in sender_groups.items():
+        tag = comm.apply(key_s, ideal_hash(encode_key(sender_key)))
+        sealing_key = _payload_key(tag)
+        sealed[_handle(sealing_key)] = hybrid.session_encrypt(
+            sealing_key, encode_rows(rows)
+        )
+    network.send(
+        SENDER, RECEIVER, "sealed_tuple_sets",
+        dict(_shuffled(list(sealed.items()))),
+    )
+    double_of_r = {y: comm.apply(key_s, y) for y in blinded_r}
+    network.send(SENDER, RECEIVER, "double_encrypted_pairs", double_of_r)
+
+    # Receiver: for each own value, recover f_eS(h(v)) by stripping its
+    # own exponent from the double encryption, derive the key, look up.
+    matched_rows = []
+    intersection = []
+    for own_key, blinded in zip(receiver_order, blinded_r):
+        sender_tag = comm.invert(key_r, double_of_r[blinded])
+        sealing_key = _payload_key(sender_tag)
+        blob = sealed.get(_handle(sealing_key))
+        if blob is None:
+            continue
+        intersection.append(own_key)
+        sender_rows = decode_rows(
+            hybrid.session_decrypt(sealing_key, blob),
+            sender_relation.schema,
+        )
+        receiver_names = set(receiver_relation.schema.names())
+        extra_positions = [
+            i
+            for i, name in enumerate(sender_relation.schema.names())
+            if name not in receiver_names
+        ]
+        for own_row in receiver_groups[own_key]:
+            for sender_row in sender_rows:
+                matched_rows.append(
+                    own_row + tuple(sender_row[i] for i in extra_positions)
+                )
+
+    joined_schema = receiver_relation.schema.join_schema(
+        sender_relation.schema, "two_party_join"
+    )
+    return TwoPartyResult(
+        intersection=tuple(
+            sorted(
+                intersection,
+                key=lambda k: tuple((type(v).__name__, v) for v in k),
+            )
+        ),
+        joined=Relation(joined_schema, matched_rows),
+        network=network,
+        receiver_set_size=len(receiver_groups),
+        sender_set_size=len(sender_groups),
+    )

@@ -1,0 +1,294 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — run a built-in workload under one protocol and print
+  the decrypted global result plus the transcript summary.
+* ``compare``  — the Section-6 comparison table over a parameterized
+  synthetic workload.
+* ``leakage``  — reproduce Tables 1 and 2 from live transcripts.
+* ``audit``    — run one protocol and emit the JSON audit record.
+* ``query``    — secure-join two relations loaded from CSV files.
+* ``workload`` — generate a synthetic workload as two CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import (
+    CertificationAuthority,
+    Federation,
+    run_join_query,
+    setup_client,
+)
+from repro.analysis import analyze, compare, primitive_profile, render, table1, table2
+from repro.analysis.export import export_run_json
+from repro.core.runner import PROTOCOLS
+from repro.mediation.access_control import allow_all
+from repro.mediation.client import default_homomorphic_scheme
+from repro.relational import csvio
+from repro.relational.datagen import WorkloadSpec, Workload, generate
+
+DEFAULT_RSA_BITS = 1024
+DEFAULT_PAILLIER_BITS = 1024
+
+
+def _build_federation(
+    relation_1, relation_2, rsa_bits: int, paillier_bits: int
+) -> Federation:
+    ca = CertificationAuthority(key_bits=rsa_bits)
+    federation = Federation(ca=ca)
+    federation.add_source("S1", [(relation_1, allow_all())])
+    federation.add_source("S2", [(relation_2, allow_all())])
+    federation.attach_client(
+        setup_client(
+            ca,
+            "cli-client",
+            {("role", "analyst")},
+            rsa_bits=rsa_bits,
+            homomorphic_scheme=default_homomorphic_scheme(paillier_bits),
+        )
+    )
+    return federation
+
+
+def _workload_from_args(args) -> Workload:
+    return generate(
+        WorkloadSpec(
+            domain_1=args.domain,
+            domain_2=args.domain,
+            overlap=args.overlap,
+            rows_per_value_1=args.rows_per_value,
+            rows_per_value_2=args.rows_per_value,
+            seed=args.seed,
+        )
+    )
+
+
+def _add_crypto_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rsa-bits", type=int, default=DEFAULT_RSA_BITS,
+        help="RSA modulus size for client keys and the CA",
+    )
+    parser.add_argument(
+        "--paillier-bits", type=int, default=DEFAULT_PAILLIER_BITS,
+        help="Paillier modulus size for private matching",
+    )
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--domain", type=int, default=10)
+    parser.add_argument("--overlap", type=int, default=5)
+    parser.add_argument("--rows-per-value", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _command_demo(args) -> int:
+    workload = _workload_from_args(args)
+    federation = _build_federation(
+        workload.relation_1, workload.relation_2, args.rsa_bits,
+        args.paillier_bits,
+    )
+    result = run_join_query(
+        federation, "select * from R1 natural join R2", protocol=args.protocol
+    )
+    print(result.global_result.pretty())
+    print()
+    print(result.summary())
+    return 0
+
+
+def _command_compare(args) -> int:
+    from repro import CommutativeConfig, DASConfig, PMConfig
+
+    workload = _workload_from_args(args)
+
+    def factory() -> Federation:
+        return _build_federation(
+            workload.relation_1, workload.relation_2, args.rsa_bits,
+            args.paillier_bits,
+        )
+
+    rows = compare(
+        factory,
+        "select * from R1 natural join R2",
+        [
+            ("das", DASConfig()),
+            ("commutative", CommutativeConfig()),
+            ("private-matching", PMConfig()),
+        ],
+    )
+    print(render(rows))
+    return 0
+
+
+def _command_leakage(args) -> int:
+    workload = _workload_from_args(args)
+    reports, profiles = [], []
+    for protocol in sorted(PROTOCOLS):
+        federation = _build_federation(
+            workload.relation_1, workload.relation_2, args.rsa_bits,
+            args.paillier_bits,
+        )
+        result = run_join_query(
+            federation, "select * from R1 natural join R2", protocol=protocol
+        )
+        reports.append(analyze(result))
+        profiles.append(primitive_profile(result))
+    print(table1(reports))
+    print()
+    print(table2(profiles))
+    return 0
+
+
+def _command_audit(args) -> int:
+    workload = _workload_from_args(args)
+    federation = _build_federation(
+        workload.relation_1, workload.relation_2, args.rsa_bits,
+        args.paillier_bits,
+    )
+    result = run_join_query(
+        federation, "select * from R1 natural join R2", protocol=args.protocol
+    )
+    print(export_run_json(result))
+    return 0
+
+
+def _command_query(args) -> int:
+    relation_1 = csvio.load(args.name1, args.csv1)
+    relation_2 = csvio.load(args.name2, args.csv2)
+    federation = _build_federation(
+        relation_1, relation_2, args.rsa_bits, args.paillier_bits
+    )
+    sql = args.sql or (
+        f"select * from {args.name1} natural join {args.name2}"
+    )
+    result = run_join_query(federation, sql, protocol=args.protocol)
+    if args.output:
+        csvio.dump(result.global_result, args.output)
+        print(f"{len(result.global_result)} rows written to {args.output}")
+    else:
+        print(result.global_result.pretty())
+    return 0
+
+
+def _command_report(args) -> int:
+    from repro.analysis.report import full_report
+
+    workload = _workload_from_args(args)
+
+    def factory() -> Federation:
+        return _build_federation(
+            workload.relation_1, workload.relation_2, args.rsa_bits,
+            args.paillier_bits,
+        )
+
+    document = full_report(
+        factory,
+        "select * from R1 natural join R2",
+        [workload.relation_1, workload.relation_2],
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"report written to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _command_workload(args) -> int:
+    workload = _workload_from_args(args)
+    csvio.dump(workload.relation_1, args.out1)
+    csvio.dump(workload.relation_2, args.out2)
+    print(
+        f"wrote {args.out1} ({len(workload.relation_1)} rows) and "
+        f"{args.out2} ({len(workload.relation_2)} rows); expected join "
+        f"size {workload.expected_join_size}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure mediation of join queries by processing ciphertexts",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run one protocol on a demo workload")
+    demo.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="commutative"
+    )
+    _add_workload_arguments(demo)
+    _add_crypto_arguments(demo)
+    demo.set_defaults(handler=_command_demo)
+
+    comparison = commands.add_parser(
+        "compare", help="Section-6 comparison of all protocols"
+    )
+    _add_workload_arguments(comparison)
+    _add_crypto_arguments(comparison)
+    comparison.set_defaults(handler=_command_compare)
+
+    leakage = commands.add_parser(
+        "leakage", help="reproduce Tables 1 and 2 from live transcripts"
+    )
+    _add_workload_arguments(leakage)
+    _add_crypto_arguments(leakage)
+    leakage.set_defaults(handler=_command_leakage)
+
+    audit = commands.add_parser(
+        "audit", help="emit a JSON audit record of one protocol run"
+    )
+    audit.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="commutative"
+    )
+    _add_workload_arguments(audit)
+    _add_crypto_arguments(audit)
+    audit.set_defaults(handler=_command_audit)
+
+    query = commands.add_parser("query", help="secure-join two CSV relations")
+    query.add_argument("csv1", help="CSV file of the first relation")
+    query.add_argument("csv2", help="CSV file of the second relation")
+    query.add_argument("--name1", default="R1", help="first relation name")
+    query.add_argument("--name2", default="R2", help="second relation name")
+    query.add_argument("--sql", default=None, help="global query to run")
+    query.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="commutative"
+    )
+    query.add_argument("--output", default=None, help="write result CSV here")
+    _add_crypto_arguments(query)
+    query.set_defaults(handler=_command_query)
+
+    report = commands.add_parser(
+        "report", help="full markdown evaluation report (all protocols)"
+    )
+    report.add_argument("--output", default=None, help="write markdown here")
+    _add_workload_arguments(report)
+    _add_crypto_arguments(report)
+    report.set_defaults(handler=_command_report)
+
+    workload = commands.add_parser(
+        "workload", help="generate a synthetic workload as CSV files"
+    )
+    workload.add_argument("out1", help="output CSV for the first relation")
+    workload.add_argument("out2", help="output CSV for the second relation")
+    _add_workload_arguments(workload)
+    workload.set_defaults(handler=_command_workload)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Assembling the global result from matched tuple sets.
+
+Listing 3 step 8 / Listing 4 step 8: the client "constructs tuples from
+the sets Tup_1(a) and Tup_2(a)" — a cross product of each matched pair
+of tuple sets, merged on the join attributes.  This module implements
+that client-side construction and the result schema derivation shared by
+all three protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.joinkeys import JoinKey, key_of
+from repro.errors import ProtocolError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Schema
+
+
+def result_schema(
+    schema_1: Schema, schema_2: Schema, name: str | None = None
+) -> Schema:
+    """Schema of the global result (natural-join schema)."""
+    return schema_1.join_schema(
+        schema_2, name or f"{schema_1.relation_name}_join_{schema_2.relation_name}"
+    )
+
+
+def combine_tuple_sets(
+    schema_1: Schema,
+    schema_2: Schema,
+    join_attributes: tuple[str, ...],
+    matched: Iterable[tuple[JoinKey, tuple[Row, ...], tuple[Row, ...]]],
+    name: str | None = None,
+) -> Relation:
+    """Cross-product each matched pair of tuple sets into joined rows.
+
+    ``matched`` yields ``(key, Tup_1(key), Tup_2(key))`` triples.  Every
+    row in both sets must actually carry ``key`` on the join attributes
+    — a mismatch indicates a corrupted or forged protocol message and
+    raises :class:`ProtocolError` (fail closed rather than fabricate
+    result rows).
+    """
+    schema = result_schema(schema_1, schema_2, name)
+    left_names = set(schema_1.names())
+    extra_positions = [
+        schema_2.position(n) for n in schema_2.names() if n not in left_names
+    ]
+    # Build a probe relation per side to reuse value lookup; Relations are
+    # immutable so this is cheap bookkeeping, not data copying.
+    rows: list[Row] = []
+    for key, tuples_1, tuples_2 in matched:
+        probe_1 = Relation(schema_1, tuples_1)
+        probe_2 = Relation(schema_2, tuples_2)
+        for row in probe_1:
+            if key_of(probe_1, row, join_attributes) != key:
+                raise ProtocolError(
+                    f"tuple {row!r} does not carry join key {key!r}"
+                )
+        for row in probe_2:
+            if key_of(probe_2, row, join_attributes) != key:
+                raise ProtocolError(
+                    f"tuple {row!r} does not carry join key {key!r}"
+                )
+        for row_1 in tuples_1:
+            for row_2 in tuples_2:
+                rows.append(row_1 + tuple(row_2[i] for i in extra_positions))
+    return Relation(schema, rows)

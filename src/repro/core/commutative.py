@@ -1,0 +1,271 @@
+"""Delivery phase with commutative encryption — Listing 3.
+
+The commutative protocol (after Agrawal et al. [1], adapted to the MMM):
+
+1. S_i chooses a secret commutative key e_i; for each a in
+   ``domactive(R_i.A_join)`` it computes ``f_{e_i}(h(a))`` with the
+   shared ideal hash h.
+2. S_i hybrid-encrypts each tuple set ``Tup_i(a)`` for the client.
+3. S_i sends the (arbitrarily ordered) message set
+   ``M_i = {<f_{e_i}(h(a)), encrypt(Tup_i(a))>}`` to the mediator.
+4. The mediator exchanges the message sets between the sources.
+5./6. Each source applies its own key on top of the other's:
+   ``f_{e_1}(f_{e_2}(h(a)))`` = ``f_{e_2}(f_{e_1}(h(a)))``, and returns
+   the re-tagged messages to the mediator.
+6. The mediator matches messages with identical first components —
+   commutativity + bijectivity guarantee these are exactly the join
+   values common to both active domains — and sends the combined
+   ``<encrypt(Tup_1(a)), encrypt(Tup_2(a))>`` result messages to the
+   client.
+8. The client decrypts the tuple sets and builds the global result by
+   crossing each matched pair of sets.
+
+Footnote 1 of the paper suggests that, instead of echoing the (possibly
+large) encrypted tuple sets to the opposite datasource, the mediator
+should substitute fixed-length ID values and re-associate them on the
+way back; ``CommutativeConfig(use_tuple_ids=True)`` enables exactly
+that optimization (benchmark A3 measures the traffic it saves).
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass
+
+from repro.core.assembly import combine_tuple_sets
+from repro.core.federation import Federation
+from repro.core.joinkeys import (
+    JoinKey,
+    active_key_domain,
+    encode_key,
+    group_by_key,
+    key_of,
+)
+from repro.core.request import RequestPhaseOutcome
+from repro.core.result import MediationResult
+from repro.core.timing import timed
+from repro.crypto import commutative as comm
+from repro.crypto import groups, hybrid
+from repro.crypto.hashes import IdealHash
+from repro.crypto.instrumentation import count_primitives
+from repro.errors import ProtocolError
+from repro.mediation.credentials import public_keys_of
+from repro.relational.encoding import decode_rows, encode_rows
+from repro.relational.relation import Relation
+
+_ID_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CommutativeConfig:
+    """Tunable parameters of the commutative delivery phase."""
+
+    group_bits: int = groups.TEST_GROUP_BITS
+    #: Footnote-1 optimization: ship fixed-length IDs instead of echoing
+    #: encrypted tuple sets through the opposite datasource.
+    use_tuple_ids: bool = False
+    #: Have the sources verify that the announced group modulus really is
+    #: a safe prime before keying it (costly; off for benchmarks).
+    verify_group: bool = False
+
+
+@dataclass(frozen=True)
+class TaggedMessage:
+    """``<f_e(h(a)), payload>`` — one element of a message set M_i."""
+
+    tag: int
+    payload: hybrid.HybridCiphertext | bytes  # ciphertext, or ID token
+
+
+def _shuffled(items: list) -> list:
+    """Cryptographically shuffled copy (order must not leak join values)."""
+    shuffled = list(items)
+    random.SystemRandom().shuffle(shuffled)
+    return shuffled
+
+
+@dataclass
+class _SourceState:
+    key: comm.CommutativeKey
+    tuple_ciphertexts: dict[JoinKey, hybrid.HybridCiphertext]
+
+
+def _prepare_source(
+    relation: Relation,
+    join_attributes: tuple[str, ...],
+    group: comm.CommutativeGroup,
+    ideal_hash: IdealHash,
+    client_keys,
+    config: CommutativeConfig,
+) -> tuple[_SourceState, list[TaggedMessage]]:
+    """Listing 3 steps 1-3 at one datasource."""
+    if config.verify_group and not group.verify():
+        raise ProtocolError("announced commutative group failed verification")
+    key = comm.generate_key(group)
+    messages = []
+    tuple_ciphertexts: dict[JoinKey, hybrid.HybridCiphertext] = {}
+    for join_key, rows in group_by_key(relation, join_attributes).items():
+        tag = comm.apply(key, ideal_hash(encode_key(join_key)))
+        ciphertext = hybrid.encrypt(client_keys, encode_rows(rows))
+        tuple_ciphertexts[join_key] = ciphertext
+        messages.append(TaggedMessage(tag=tag, payload=ciphertext))
+    return _SourceState(key, tuple_ciphertexts), _shuffled(messages)
+
+
+def _double_encrypt(
+    messages: list[TaggedMessage], key: comm.CommutativeKey
+) -> list[TaggedMessage]:
+    """Listing 3 steps 5/6 at one datasource: apply the own key on top."""
+    return _shuffled(
+        [
+            TaggedMessage(tag=comm.apply(key, message.tag), payload=message.payload)
+            for message in messages
+        ]
+    )
+
+
+def run_commutative_delivery(
+    federation: Federation,
+    outcome: RequestPhaseOutcome,
+    config: CommutativeConfig | None = None,
+) -> MediationResult:
+    """Execute the commutative delivery phase (Listing 3) over the bus."""
+    config = config or CommutativeConfig()
+    client = federation.require_client()
+    mediator_name = federation.mediator.name
+    network = federation.network
+    source_1, source_2 = outcome.source_names
+    relation_1 = outcome.partial_results[source_1]
+    relation_2 = outcome.partial_results[source_2]
+
+    result = MediationResult(
+        protocol="commutative" + ("[ids]" if config.use_tuple_ids else ""),
+        query=outcome.query,
+        global_result=Relation(relation_1.schema, []),
+        network=network,
+        primitive_counter=None,
+    )
+
+    with count_primitives() as counter:
+        result.primitive_counter = counter
+        client_keys = public_keys_of(
+            outcome.forwarded_credentials[source_1]
+            + outcome.forwarded_credentials[source_2]
+        )
+        # The mediator announces the shared group and hash parameters; the
+        # paper assumes "both datasources use the same ideal hash function".
+        group = groups.commutative_group(config.group_bits)
+        ideal_hash = IdealHash(group.p)
+        for source_name in (source_1, source_2):
+            network.send(
+                mediator_name,
+                source_name,
+                "commutative_setup",
+                {"modulus": group.p, "hash_tag": ideal_hash.tag},
+            )
+
+        # Steps 1-3: each source builds and sends its message set M_i.
+        states: dict[str, _SourceState] = {}
+        message_sets: dict[str, list[TaggedMessage]] = {}
+        for source_name, relation in (
+            (source_1, relation_1),
+            (source_2, relation_2),
+        ):
+            with timed(result, source_name, "hash_encrypt_round1"):
+                state, messages = _prepare_source(
+                    relation,
+                    outcome.join_attributes,
+                    group,
+                    ideal_hash,
+                    client_keys,
+                    config,
+                )
+            states[source_name] = state
+            message_sets[source_name] = messages
+            network.send(source_name, mediator_name, "commutative_m_set", messages)
+
+        # Step 4: the mediator exchanges the message sets (optionally
+        # substituting ID tokens for the payloads, footnote 1).
+        id_table: dict[bytes, hybrid.HybridCiphertext] = {}
+
+        def outbound(messages: list[TaggedMessage]) -> list[TaggedMessage]:
+            if not config.use_tuple_ids:
+                return messages
+            substituted = []
+            for message in messages:
+                token = secrets.token_bytes(_ID_BYTES)
+                while token in id_table:
+                    token = secrets.token_bytes(_ID_BYTES)
+                id_table[token] = message.payload
+                substituted.append(TaggedMessage(tag=message.tag, payload=token))
+            return substituted
+
+        forwarded_to_2 = outbound(message_sets[source_1])
+        forwarded_to_1 = outbound(message_sets[source_2])
+        network.send(mediator_name, source_2, "commutative_exchange", forwarded_to_2)
+        network.send(mediator_name, source_1, "commutative_exchange", forwarded_to_1)
+
+        # Steps 5-6: sources double-encrypt and return.
+        with timed(result, source_1, "double_encrypt"):
+            response_1 = _double_encrypt(forwarded_to_1, states[source_1].key)
+        network.send(source_1, mediator_name, "commutative_double", response_1)
+        with timed(result, source_2, "double_encrypt"):
+            response_2 = _double_encrypt(forwarded_to_2, states[source_2].key)
+        network.send(source_2, mediator_name, "commutative_double", response_2)
+
+        # Step 7: the mediator matches identical first components.
+        def resolve(payload):
+            if config.use_tuple_ids:
+                if payload not in id_table:
+                    raise ProtocolError("datasource returned an unknown ID token")
+                return id_table[payload]
+            return payload
+
+        with timed(result, mediator_name, "match"):
+            # response_1 tags derive from M_2, so payloads are Tup_2 sets;
+            # response_2 payloads are Tup_1 sets.
+            tup_2_by_tag = {m.tag: resolve(m.payload) for m in response_1}
+            result_messages = []
+            for message in response_2:
+                if message.tag in tup_2_by_tag:
+                    result_messages.append(
+                        (resolve(message.payload), tup_2_by_tag[message.tag])
+                    )
+        network.send(
+            mediator_name, client.name, "commutative_result", result_messages
+        )
+
+        # Step 8: the client decrypts and constructs the global result.
+        with timed(result, client.name, "decrypt_and_combine"):
+            matched = []
+            for ciphertext_1, ciphertext_2 in result_messages:
+                rows_1 = decode_rows(
+                    client.decrypt_hybrid(ciphertext_1), relation_1.schema
+                )
+                rows_2 = decode_rows(
+                    client.decrypt_hybrid(ciphertext_2), relation_2.schema
+                )
+                probe = Relation(relation_1.schema, rows_1)
+                join_key = key_of(probe, rows_1[0], outcome.join_attributes)
+                matched.append((join_key, rows_1, rows_2))
+            global_result = combine_tuple_sets(
+                relation_1.schema,
+                relation_2.schema,
+                outcome.join_attributes,
+                matched,
+            )
+
+    result.global_result = global_result
+    result.artifacts.update(
+        {
+            "active_domain_sizes": {
+                source_1: len(active_key_domain(relation_1, outcome.join_attributes)),
+                source_2: len(active_key_domain(relation_2, outcome.join_attributes)),
+            },
+            "intersection_size": len(result_messages),
+            "id_table_entries": len(id_table),
+            "config": config,
+        }
+    )
+    return result

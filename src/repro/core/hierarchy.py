@@ -1,0 +1,139 @@
+"""Mediator hierarchies and successive joins — the Section 8 extension.
+
+*"Moreover, in a mediator hierarchy one mediator can act as a datasource
+for other mediators.  Therefore, the case in which several join queries
+are executed successively has to be considered."*
+
+We implement successive joins left-to-right: for a chain
+``R_1 ⋈ R_2 ⋈ ... ⋈ R_k`` the first two relations are joined under the
+chosen delivery protocol; the decrypted intermediate result is then
+re-hosted behind a *delegate datasource* — playing the role of the lower
+mediator acting as a datasource — in a fresh federation together with
+the next relation's source, and the protocol runs again.  The end client
+(and its key material) is shared across all stages, so every stage's
+partial results are still encrypted end-to-end for the same principal.
+
+The returned :class:`HierarchyResult` keeps every stage's
+:class:`~repro.core.result.MediationResult` so transcripts remain
+auditable per stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.federation import Federation
+from repro.core.result import MediationResult
+from repro.core.runner import run_join_query
+from repro.errors import ProtocolError, QueryError
+from repro.mediation.access_control import allow_all
+from repro.mediation.mediator import Mediator
+from repro.relational import sql
+from repro.relational.algebra import Join, PartialQuery
+from repro.relational.relation import Relation
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of a successive-join execution."""
+
+    query: str
+    protocol: str
+    global_result: Relation
+    stages: list[MediationResult] = field(default_factory=list)
+
+    def total_bytes(self) -> int:
+        return sum(stage.total_bytes() for stage in self.stages)
+
+    def total_seconds(self) -> float:
+        return sum(stage.total_seconds() for stage in self.stages)
+
+
+def chain_relations(query: str) -> list[str]:
+    """Relation names of a left-deep natural-join chain, in order."""
+    tree = sql.parse(query)
+    names: list[str] = []
+
+    def walk(node) -> None:
+        if isinstance(node, PartialQuery):
+            names.append(node.relation_name)
+            return
+        if isinstance(node, Join):
+            walk(node.left)
+            walk(node.right)
+            return
+        child = getattr(node, "child", None)
+        if child is not None:
+            walk(child)
+            return
+        raise QueryError("successive joins support natural-join chains only")
+
+    walk(tree)
+    if len(names) < 2:
+        raise QueryError("a join chain needs at least two relations")
+    return names
+
+
+def run_successive_joins(
+    federation: Federation,
+    query: str,
+    protocol: str = "commutative",
+    config=None,
+    delegate_name: str = "lower-mediator",
+) -> HierarchyResult:
+    """Execute a multi-relation natural-join chain stage by stage."""
+    client = federation.require_client()
+    names = chain_relations(query)
+    if len(names) == 2:
+        result = run_join_query(federation, query, protocol=protocol, config=config)
+        return HierarchyResult(
+            query=query,
+            protocol=protocol,
+            global_result=result.global_result,
+            stages=[result],
+        )
+
+    stages: list[MediationResult] = []
+    # Stage 1 runs in the original federation.
+    first_query = f"select * from {names[0]} natural join {names[1]}"
+    stage = run_join_query(federation, first_query, protocol=protocol, config=config)
+    stages.append(stage)
+    intermediate = stage.global_result
+
+    for depth, next_name in enumerate(names[2:], start=1):
+        next_source_name = federation.mediator.registry.get(next_name)
+        if next_source_name is None:
+            raise QueryError(f"no datasource manages {next_name!r}")
+        next_source = federation.source(next_source_name)
+        if next_name not in next_source.relations:
+            raise ProtocolError(
+                f"datasource {next_source_name} lost relation {next_name!r}"
+            )
+        # Build the upper federation: the previous stage's result is
+        # re-hosted behind a delegate source (the lower mediator in its
+        # datasource role), alongside the next real source.
+        upper = Federation(
+            ca=federation.ca,
+            mediator=Mediator(name=f"mediator-l{depth}"),
+        )
+        delegate = f"{delegate_name}-l{depth}"
+        hosted = intermediate.rename(f"J{depth}")
+        upper.add_source(delegate, [(hosted, allow_all())])
+        upper.add_source(
+            f"{next_source_name}-l{depth}",
+            [(next_source.relations[next_name], allow_all())],
+        )
+        upper.attach_client(client)
+        stage_query = (
+            f"select * from {hosted.name} natural join {next_name}"
+        )
+        stage = run_join_query(upper, stage_query, protocol=protocol, config=config)
+        stages.append(stage)
+        intermediate = stage.global_result
+
+    return HierarchyResult(
+        query=query,
+        protocol=protocol,
+        global_result=intermediate.rename("_".join(names)),
+        stages=stages,
+    )

@@ -1,0 +1,69 @@
+"""Protocol run results: the global result plus everything observable.
+
+A :class:`MediationResult` bundles what a protocol run produced (the
+decrypted global result at the client) with what it *exposed* (the full
+network transcript, per-party views, primitive counters and timings) —
+the raw material for the leakage, conformance and performance analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.instrumentation import PrimitiveCounter
+from repro.mediation.network import Network
+from repro.relational.relation import Relation
+
+
+@dataclass
+class StepTiming:
+    """Wall-clock duration of one protocol step at one party."""
+
+    party: str
+    step: str
+    seconds: float
+
+
+@dataclass
+class MediationResult:
+    """Outcome of one complete mediated join-query run."""
+
+    protocol: str
+    query: str
+    global_result: Relation
+    network: Network
+    primitive_counter: PrimitiveCounter
+    timings: list[StepTiming] = field(default_factory=list)
+    #: Protocol-specific intermediate artifacts (index tables, matched
+    #: pair counts, polynomial degrees, ...) keyed by a stable name.
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    # -- convenience accessors ------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return self.network.total_bytes()
+
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+    def seconds_at(self, party: str) -> float:
+        return sum(t.seconds for t in self.timings if t.party == party)
+
+    def interaction_count(self, a: str, b: str) -> int:
+        return self.network.interaction_count(a, b)
+
+    def add_timing(self, party: str, step: str, seconds: float) -> None:
+        self.timings.append(StepTiming(party, step, seconds))
+
+    def summary(self) -> str:
+        lines = [
+            f"protocol: {self.protocol}",
+            f"query:    {self.query}",
+            f"result:   {len(self.global_result)} rows",
+            f"traffic:  {self.total_bytes()} bytes over "
+            f"{len(self.network.transcript)} messages",
+            f"time:     {self.total_seconds():.4f}s across "
+            f"{len(self.timings)} steps",
+        ]
+        return "\n".join(lines)

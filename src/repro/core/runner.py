@@ -1,0 +1,91 @@
+"""End-to-end orchestration: request phase + chosen delivery phase.
+
+:func:`run_join_query` is the library's primary entry point: build a
+:class:`~repro.core.federation.Federation`, attach a client, then run a
+global join query under any of the three delivery protocols.  The
+returned :class:`~repro.core.result.MediationResult` carries the global
+result and the full transcript for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.commutative import CommutativeConfig, run_commutative_delivery
+from repro.core.das import DASConfig, run_das_delivery
+from repro.core.federation import Federation
+from repro.core.private_matching import PMConfig, run_private_matching_delivery
+from repro.core.request import RequestPhaseOutcome, run_request_phase
+from repro.core.result import MediationResult
+from repro.errors import ProtocolError
+from repro.relational.algebra import evaluate_above_join
+from repro.relational.relation import Relation
+
+#: Protocol registry: name -> (delivery function, config class).
+PROTOCOLS = {
+    "das": (run_das_delivery, DASConfig),
+    "commutative": (run_commutative_delivery, CommutativeConfig),
+    "private-matching": (run_private_matching_delivery, PMConfig),
+}
+
+
+def run_join_query(
+    federation: Federation,
+    query: str,
+    protocol: str = "commutative",
+    config: Any = None,
+) -> MediationResult:
+    """Run a global join query end to end under the named protocol.
+
+    ``protocol`` is one of ``"das"``, ``"commutative"`` (the paper's
+    recommendation: "the commutative approach seems to be the most
+    efficient one"), or ``"private-matching"``.  ``config`` is the
+    protocol's config dataclass (:class:`DASConfig`,
+    :class:`CommutativeConfig`, or :class:`PMConfig`) or None for
+    defaults.
+    """
+    if protocol not in PROTOCOLS:
+        raise ProtocolError(
+            f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+        )
+    delivery, config_type = PROTOCOLS[protocol]
+    if config is not None and not isinstance(config, config_type):
+        raise ProtocolError(
+            f"protocol {protocol!r} expects a {config_type.__name__}, "
+            f"got {type(config).__name__}"
+        )
+    outcome = run_request_phase(federation, query)
+    result = delivery(federation, outcome, config)
+    # The protocols deliver the JOIN; remaining operators of the global
+    # query (selection, projection) are the client's local post-work.
+    tree = outcome.decomposition.tree
+    join_rows = len(result.global_result)
+    result.global_result = evaluate_above_join(tree, result.global_result)
+    result.artifacts["join_rows_before_postprocessing"] = join_rows
+    return result
+
+
+def reference_join(
+    federation: Federation, query: str, outcome: RequestPhaseOutcome | None = None
+) -> Relation:
+    """The plaintext result the protocols must reproduce.
+
+    Evaluates the global query directly over the (access-controlled)
+    partial results — the ground truth every protocol's decrypted global
+    result is compared against in tests.
+
+    NOTE: this deliberately bypasses the encryption machinery and exists
+    for verification only; it also re-runs the request phase unless an
+    ``outcome`` is supplied, so transcripts of a protocol run are not
+    polluted.
+    """
+    if outcome is None:
+        outcome = run_request_phase(federation, query)
+    env = {
+        partial_query.relation_name: outcome.partial_results[source_name]
+        for partial_query, source_name in zip(
+            outcome.decomposition.partial_queries,
+            outcome.decomposition.source_names,
+        )
+    }
+    return outcome.decomposition.tree.evaluate(env)

@@ -1,0 +1,19 @@
+"""Step timing helper shared by the delivery-phase implementations."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.result import MediationResult
+
+
+@contextmanager
+def timed(result: MediationResult, party: str, step: str) -> Iterator[None]:
+    """Record the wall-clock duration of one protocol step."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        result.add_timing(party, step, time.perf_counter() - started)

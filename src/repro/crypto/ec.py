@@ -1,0 +1,169 @@
+"""Elliptic-curve arithmetic over prime fields.
+
+Backs the elliptic-curve ElGamal variant the paper cites ([10]) as an
+alternative homomorphic scheme for private matching.  Implemented from
+scratch: short Weierstrass curves ``y^2 = x^3 + a*x + b`` over ``F_p``
+with affine point addition and double-and-add scalar multiplication.
+
+Two named curves ship with the library:
+
+* ``P256`` — the NIST P-256 parameters, for realistic key sizes;
+* ``TINY`` — a small curve of prime order used by fast unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.numtheory import modinv, is_quadratic_residue, sqrt_mod_prime
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Short Weierstrass curve with a base point of prime order ``n``."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if (4 * self.a ** 3 + 27 * self.b ** 2) % self.p == 0:
+            raise ParameterError(f"curve {self.name} is singular")
+
+    @property
+    def generator(self) -> "Point":
+        return Point(self, self.gx, self.gy)
+
+    @property
+    def infinity(self) -> "Point":
+        return Point(self, None, None)
+
+    def contains(self, x: int, y: int) -> bool:
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def lift_x(self, x: int) -> "Point | None":
+        """Return a point with the given x-coordinate, if one exists."""
+        rhs = (x * x * x + self.a * x + self.b) % self.p
+        if rhs == 0:
+            return Point(self, x, 0)
+        if not is_quadratic_residue(rhs, self.p):
+            return None
+        return Point(self, x, sqrt_mod_prime(rhs, self.p))
+
+
+class Point:
+    """An affine curve point; ``x is None`` encodes the point at infinity."""
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: Curve, x: int | None, y: int | None) -> None:
+        if (x is None) != (y is None):
+            raise ParameterError("both coordinates must be None for infinity")
+        if x is not None and not curve.contains(x, y):
+            raise ParameterError(f"({x}, {y}) is not on curve {curve.name}")
+        self.curve = curve
+        self.x = x
+        self.y = y
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Point)
+            and self.curve == other.curve
+            and self.x == other.x
+            and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __neg__(self) -> "Point":
+        if self.is_infinity:
+            return self
+        return Point(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __add__(self, other: "Point") -> "Point":
+        if self.curve != other.curve:
+            raise ParameterError("cannot add points on different curves")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        p = self.curve.p
+        if self.x == other.x and (self.y + other.y) % p == 0:
+            return self.curve.infinity
+        if self == other:
+            slope = (3 * self.x * self.x + self.curve.a) * modinv(2 * self.y, p) % p
+        else:
+            slope = (other.y - self.y) * modinv(other.x - self.x, p) % p
+        x3 = (slope * slope - self.x - other.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return Point(self.curve, x3, y3)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return self + (-other)
+
+    def __mul__(self, scalar: int) -> "Point":
+        """Double-and-add scalar multiplication."""
+        scalar %= self.curve.n
+        result = self.curve.infinity
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend + addend
+            scalar >>= 1
+        return result
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"Point({self.curve.name}, infinity)"
+        return f"Point({self.curve.name}, {self.x}, {self.y})"
+
+
+#: NIST P-256 (secp256r1) domain parameters.
+P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3 % 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+#: A small prime-order curve for fast unit tests:
+#: y^2 = x^3 + x + 28 over F_10007 has exactly 9851 points (prime), so
+#: every point generates the full group.  Parameters were found by an
+#: exhaustive offline scan and are re-verified by the test suite.
+TINY = Curve(
+    name="tiny",
+    p=10007,
+    a=1,
+    b=28,
+    gx=2,
+    gy=4582,
+    n=9851,
+)
+
+
+def brute_force_order(point: Point) -> int:
+    """Order of ``point`` by repeated addition (small test curves only)."""
+    accumulator = point
+    order = 1
+    while not accumulator.is_infinity:
+        accumulator = accumulator + point
+        order += 1
+        if order > point.curve.p * 2:
+            raise ParameterError("failed to find point order")
+    return order

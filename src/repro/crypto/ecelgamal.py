@@ -1,0 +1,126 @@
+"""Additively homomorphic elliptic-curve ElGamal.
+
+The elliptic-curve ElGamal variant cited by the paper ([10], the
+Cramer-Gennaro-Schoenmakers election scheme) encodes a plaintext ``m`` as
+the point ``m * G`` and encrypts it as
+
+    E(m) = (r * G,  m * G + r * H),        H = x * G the public key.
+
+Ciphertext addition is component-wise point addition, so the scheme is
+additively homomorphic; decryption recovers ``m * G`` and then solves a
+small discrete logarithm (baby-step/giant-step over points).  As with
+exponential ElGamal this limits practical plaintexts to small ranges,
+which the comparison benchmarks quantify against Paillier.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto import instrumentation
+from repro.crypto.ec import Curve, Point
+from repro.errors import DecryptionError, EncryptionError, KeyError_
+
+
+@dataclass(frozen=True)
+class ECElGamalPublicKey:
+    curve: Curve
+    h: Point  # x * G
+
+
+@dataclass(frozen=True)
+class ECElGamalPrivateKey:
+    public_key: ECElGamalPublicKey
+    x: int
+
+
+@dataclass(frozen=True)
+class ECElGamalCiphertext:
+    c1: Point
+    c2: Point
+    public_key: ECElGamalPublicKey
+
+    def __add__(self, other: "ECElGamalCiphertext") -> "ECElGamalCiphertext":
+        return add(self, other)
+
+    def __mul__(self, scalar: int) -> "ECElGamalCiphertext":
+        return scalar_multiply(self, scalar)
+
+    __rmul__ = __mul__
+
+
+def generate_keypair(curve: Curve) -> ECElGamalPrivateKey:
+    instrumentation.record("ecelgamal.keygen")
+    x = 1 + secrets.randbelow(curve.n - 1)
+    h = x * curve.generator
+    return ECElGamalPrivateKey(ECElGamalPublicKey(curve, h), x)
+
+
+def encrypt(public_key: ECElGamalPublicKey, message: int) -> ECElGamalCiphertext:
+    """Encrypt an integer in ``[0, n)`` (encoded as ``message * G``)."""
+    curve = public_key.curve
+    if not 0 <= message < curve.n:
+        raise EncryptionError("EC-ElGamal message out of scalar range")
+    instrumentation.record("ecelgamal.encrypt")
+    instrumentation.record("random.ecelgamal_nonce")
+    r = 1 + secrets.randbelow(curve.n - 1)
+    c1 = r * curve.generator
+    c2 = message * curve.generator + r * public_key.h
+    return ECElGamalCiphertext(c1, c2, public_key)
+
+
+def add(a: ECElGamalCiphertext, b: ECElGamalCiphertext) -> ECElGamalCiphertext:
+    """Homomorphic addition: ``E(x) + E(y) = E(x + y mod n)``."""
+    if a.public_key != b.public_key:
+        raise KeyError_("cannot add ciphertexts under different keys")
+    instrumentation.record("ecelgamal.add")
+    return ECElGamalCiphertext(a.c1 + b.c1, a.c2 + b.c2, a.public_key)
+
+
+def scalar_multiply(a: ECElGamalCiphertext, scalar: int) -> ECElGamalCiphertext:
+    """Homomorphic scalar multiplication: ``gamma * E(x) = E(gamma * x)``."""
+    instrumentation.record("ecelgamal.scalar_multiply")
+    scalar %= a.public_key.curve.n
+    return ECElGamalCiphertext(scalar * a.c1, scalar * a.c2, a.public_key)
+
+
+def decrypt(
+    private_key: ECElGamalPrivateKey,
+    ciphertext: ECElGamalCiphertext,
+    max_message: int,
+) -> int:
+    """Decrypt with plaintext known to lie in ``[0, max_message]``."""
+    if ciphertext.public_key != private_key.public_key:
+        raise KeyError_("ciphertext was produced under a different key")
+    instrumentation.record("ecelgamal.decrypt")
+    target = ciphertext.c2 - private_key.x * ciphertext.c1
+    m = _point_bsgs(private_key.public_key.curve, target, max_message)
+    if m is None:
+        raise DecryptionError(
+            f"plaintext exceeds the discrete-log bound {max_message}"
+        )
+    return m
+
+
+def _point_bsgs(curve: Curve, target: Point, bound: int) -> int | None:
+    """Solve ``m * G = target`` for ``0 <= m <= bound``."""
+    generator = curve.generator
+    if target.is_infinity:
+        return 0
+    step = math.isqrt(bound) + 1
+    baby: dict[Point, int] = {}
+    value = curve.infinity
+    for j in range(step):
+        baby.setdefault(value, j)
+        value = value + generator
+    stride = -(step * generator)
+    gamma = target
+    for i in range(step + 1):
+        if gamma in baby:
+            m = i * step + baby[gamma]
+            if m <= bound:
+                return m
+        gamma = gamma + stride
+    return None

@@ -1,0 +1,46 @@
+"""Precomputed cryptographic domain parameters.
+
+Safe-prime generation is the slowest step of setting up the commutative
+cipher and ElGamal, so the library ships verified safe primes at several
+sizes.  All values were produced by :func:`repro.crypto.numtheory.
+generate_safe_prime` and are re-verified (probabilistically) by the test
+suite; :func:`safe_prime` falls back to fresh generation for sizes not in
+the table.
+
+Security guidance: 64- and 128-bit groups exist purely to keep unit tests
+fast; protocol deployments should use >= 1024 bits (2048 recommended).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.commutative import CommutativeGroup
+from repro.crypto.numtheory import generate_safe_prime
+from repro.errors import ParameterError
+
+#: bit size -> safe prime p = 2q + 1 (q prime).
+KNOWN_SAFE_PRIMES: dict[int, int] = {
+    64: 18261568781297835779,
+    128: 278997584469130276002310604683966369823,
+    256: 79653520569013649381516987830908260182753756239914302901834367082522885701383,
+    512: 12218817247742266966139882544877065215956409069603028820769513094000471168947573498255370604296927209866216643978782386087241792496350736038763382160173599,
+    768: 1026793900340461341091891706558543549917432161008223175762444789858317767933115653979776317403268228036468035861346982288750104219566654655476024593124128314539718345976286615498891904562290573835483767753321214972843717113147595883,
+    1024: 141288358136600827276382842896037549513887910577760616190496897877629038938783558536656842307746996530762160900583125332410730656189736994063782034341918061044960661090265595925298105564831336159817686127407335399766477562303334060675589878956751381764645862078843135350092257640944954227702630866843376683519,
+}
+
+#: Default group size for tests (fast) and protocols (overridable).
+TEST_GROUP_BITS = 128
+DEFAULT_GROUP_BITS = 512
+
+
+def safe_prime(bits: int) -> int:
+    """A safe prime of the requested size (precomputed when available)."""
+    if bits in KNOWN_SAFE_PRIMES:
+        return KNOWN_SAFE_PRIMES[bits]
+    if bits < 16:
+        raise ParameterError(f"no safe prime available at {bits} bits")
+    return generate_safe_prime(bits)
+
+
+def commutative_group(bits: int = DEFAULT_GROUP_BITS) -> CommutativeGroup:
+    """A :class:`CommutativeGroup` over a safe prime of ``bits`` bits."""
+    return CommutativeGroup(safe_prime(bits))

@@ -1,0 +1,201 @@
+"""The Paillier cryptosystem (additively homomorphic), from scratch.
+
+The private-matching protocol of Section 5 needs a semantically secure
+public-key scheme ``E`` with
+
+* ``E(a) (+) E(b)  ->  E(a + b)``       (homomorphic addition), and
+* ``gamma, E(a)    ->  E(gamma * a)``   (scalar multiplication),
+
+which the paper instantiates with Paillier [20].  We implement the
+textbook scheme with ``g = n + 1`` (so that ``g^m = 1 + m*n mod n^2``,
+avoiding one exponentiation) and decryption via the Carmichael function.
+
+Plaintext space is ``Z_n``; homomorphic operations reduce modulo ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto import instrumentation
+from repro.crypto.numtheory import generate_prime, lcm, modinv
+from repro.errors import DecryptionError, EncryptionError, KeyError_, ParameterError
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key: the modulus ``n`` (``g`` is fixed to ``n + 1``)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def max_plaintext(self) -> int:
+        """Largest encodable plaintext (exclusive bound is ``n``)."""
+        return self.n - 1
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key: ``lambda = lcm(p-1, q-1)`` and ``mu = lambda^-1 mod n``."""
+
+    public_key: PaillierPublicKey
+    lam: int
+    mu: int
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """A ciphertext bound to its public key.
+
+    Binding the key allows the homomorphic operators to check that both
+    operands live under the same modulus, which catches a whole class of
+    protocol bugs (mixing ciphertexts of different clients).
+    """
+
+    value: int
+    public_key: PaillierPublicKey
+
+    def __add__(self, other: "PaillierCiphertext") -> "PaillierCiphertext":
+        return add(self, other)
+
+    def __mul__(self, scalar: int) -> "PaillierCiphertext":
+        return scalar_multiply(self, scalar)
+
+    __rmul__ = __mul__
+
+
+def generate_keypair(bits: int = 2048) -> PaillierPrivateKey:
+    """Generate a Paillier key pair with an ``bits``-bit modulus ``n``."""
+    if bits < 64:
+        raise ParameterError("Paillier modulus below 64 bits is not supported")
+    instrumentation.record("paillier.keygen")
+    while True:
+        p = generate_prime(bits // 2)
+        q = generate_prime(bits - bits // 2)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        # Standard requirement gcd(n, (p-1)(q-1)) = 1 holds for distinct
+        # primes of equal size, but check explicitly.
+        if math.gcd(n, (p - 1) * (q - 1)) != 1:
+            continue
+        lam = lcm(p - 1, q - 1)
+        public = PaillierPublicKey(n)
+        mu = modinv(_big_l(pow(public.n + 1, lam, public.n_squared), n), n)
+        return PaillierPrivateKey(public_key=public, lam=lam, mu=mu)
+
+
+def _big_l(u: int, n: int) -> int:
+    """The Paillier ``L`` function: ``L(u) = (u - 1) / n``."""
+    return (u - 1) // n
+
+
+def encrypt(
+    public_key: PaillierPublicKey, plaintext: int, randomness: int | None = None
+) -> PaillierCiphertext:
+    """Encrypt ``plaintext`` in ``Z_n``; fresh randomness unless given.
+
+    ``c = (1 + m*n) * r^n  mod n^2`` with ``r`` uniform in ``Z_n*``.
+    """
+    n = public_key.n
+    if not 0 <= plaintext < n:
+        raise EncryptionError(
+            f"plaintext {plaintext} outside message space [0, {n})"
+        )
+    instrumentation.record("paillier.encrypt")
+    n_sq = public_key.n_squared
+    if randomness is None:
+        instrumentation.record("random.paillier_nonce")
+        randomness = _random_unit(n)
+    elif not 0 < randomness < n or math.gcd(randomness, n) != 1:
+        raise EncryptionError("randomness must be a unit in Z_n")
+    value = (1 + plaintext * n) % n_sq * pow(randomness, n, n_sq) % n_sq
+    return PaillierCiphertext(value, public_key)
+
+
+def decrypt(private_key: PaillierPrivateKey, ciphertext: PaillierCiphertext) -> int:
+    """Decrypt to the plaintext in ``[0, n)``."""
+    public = private_key.public_key
+    if ciphertext.public_key != public:
+        raise KeyError_("ciphertext was produced under a different key")
+    n = public.n
+    value = ciphertext.value
+    if not 0 < value < public.n_squared or math.gcd(value, n) != 1:
+        raise DecryptionError("invalid Paillier ciphertext")
+    instrumentation.record("paillier.decrypt")
+    u = pow(value, private_key.lam, public.n_squared)
+    return _big_l(u, n) * private_key.mu % n
+
+
+def add(a: PaillierCiphertext, b: PaillierCiphertext) -> PaillierCiphertext:
+    """Homomorphic addition: ``E(x) + E(y) = E(x + y mod n)``."""
+    if a.public_key != b.public_key:
+        raise KeyError_("cannot add ciphertexts under different keys")
+    instrumentation.record("paillier.add")
+    n_sq = a.public_key.n_squared
+    return PaillierCiphertext(a.value * b.value % n_sq, a.public_key)
+
+
+def add_plain(a: PaillierCiphertext, plaintext: int) -> PaillierCiphertext:
+    """Homomorphic plaintext addition: ``E(x) + y = E(x + y mod n)``.
+
+    Cheaper than ``add(a, encrypt(pk, y))`` and — crucially for the
+    private-matching payload step — deterministic given ``a``.
+    """
+    n = a.public_key.n
+    n_sq = a.public_key.n_squared
+    instrumentation.record("paillier.add_plain")
+    return PaillierCiphertext(
+        a.value * (1 + plaintext % n * n) % n_sq, a.public_key
+    )
+
+
+def scalar_multiply(a: PaillierCiphertext, scalar: int) -> PaillierCiphertext:
+    """Homomorphic scalar multiplication: ``gamma * E(x) = E(gamma * x)``."""
+    instrumentation.record("paillier.scalar_multiply")
+    n = a.public_key.n
+    n_sq = a.public_key.n_squared
+    return PaillierCiphertext(pow(a.value, scalar % n, n_sq), a.public_key)
+
+
+def negate(a: PaillierCiphertext) -> PaillierCiphertext:
+    """Homomorphic negation: ``-E(x) = E(n - x)``."""
+    return scalar_multiply(a, a.public_key.n - 1)
+
+
+def rerandomize(a: PaillierCiphertext) -> PaillierCiphertext:
+    """Fresh randomness on an existing ciphertext (same plaintext).
+
+    ``c * r^n`` for fresh ``r`` makes the output statistically unlinkable
+    to the input — the datasources use this so the mediator cannot match
+    forwarded ciphertexts by value.
+    """
+    instrumentation.record("paillier.rerandomize")
+    instrumentation.record("random.paillier_nonce")
+    n = a.public_key.n
+    n_sq = a.public_key.n_squared
+    r = _random_unit(n)
+    return PaillierCiphertext(a.value * pow(r, n, n_sq) % n_sq, a.public_key)
+
+
+def encrypt_zero(public_key: PaillierPublicKey) -> PaillierCiphertext:
+    """A fresh encryption of zero (useful as a homomorphic accumulator)."""
+    return encrypt(public_key, 0)
+
+
+def _random_unit(n: int) -> int:
+    while True:
+        r = 1 + secrets.randbelow(n - 1)
+        if math.gcd(r, n) == 1:
+            return r

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so that
+callers can catch one base class.  Subclasses are grouped by subsystem:
+cryptography, relational model, mediation architecture, and protocol
+execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed, mismatched, or unusable for the operation.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`KeyError`.
+    """
+
+
+class ParameterError(CryptoError):
+    """Cryptographic domain parameters are invalid (bad prime, size, ...)."""
+
+
+class EncryptionError(CryptoError):
+    """Encryption could not be performed (e.g. plaintext out of range)."""
+
+
+class DecryptionError(CryptoError):
+    """Decryption failed: wrong key, corrupted or tampered ciphertext."""
+
+
+class IntegrityError(DecryptionError):
+    """A MAC or checksum did not verify; the ciphertext was tampered with."""
+
+
+class EncodingError(CryptoError):
+    """A value cannot be encoded into (or decoded from) the message space."""
+
+
+# ---------------------------------------------------------------------------
+# Relational model
+# ---------------------------------------------------------------------------
+
+class RelationalError(ReproError):
+    """Base class for relational-model failures."""
+
+
+class SchemaError(RelationalError):
+    """Schema mismatch: unknown attribute, wrong arity, incompatible types."""
+
+
+class QueryError(RelationalError):
+    """A query is malformed or cannot be decomposed/translated."""
+
+
+class PartitionError(RelationalError):
+    """Domain partitioning is invalid (gaps, overlaps, empty buckets)."""
+
+
+# ---------------------------------------------------------------------------
+# Mediation architecture
+# ---------------------------------------------------------------------------
+
+class MediationError(ReproError):
+    """Base class for mediation-architecture failures."""
+
+
+class AccessDenied(MediationError):
+    """A datasource rejected a query because credentials were insufficient."""
+
+
+class CredentialError(MediationError):
+    """A credential is malformed, expired, or its signature fails."""
+
+
+class NetworkError(MediationError):
+    """Message-bus failure: unknown party, undeliverable message."""
+
+
+class ProtocolError(MediationError):
+    """A protocol step was violated (wrong message, wrong order, bad state)."""

@@ -1,0 +1,25 @@
+"""The Multimedia Mediator (MMM) architecture substrate.
+
+* :mod:`~repro.mediation.network` — instrumented in-memory message bus
+* :mod:`~repro.mediation.credentials` / :mod:`~repro.mediation.ca` —
+  property credentials and the certification authority
+* :mod:`~repro.mediation.access_control` — credential-based policies
+* :mod:`~repro.mediation.client` — the querying client
+* :mod:`~repro.mediation.mediator` — localization and decomposition
+* :mod:`~repro.mediation.datasource` — data owners with access control
+"""
+
+from repro.mediation.ca import CertificationAuthority
+from repro.mediation.client import Client, setup_client
+from repro.mediation.datasource import DataSource
+from repro.mediation.mediator import Mediator
+from repro.mediation.network import Network
+
+__all__ = [
+    "CertificationAuthority",
+    "Client",
+    "DataSource",
+    "Mediator",
+    "Network",
+    "setup_client",
+]

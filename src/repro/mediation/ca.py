@@ -1,0 +1,81 @@
+"""The trusted certification authority of the preparatory phase.
+
+The CA signs credentials (property -> public key bindings) and identity
+certificates with RSA-PSS.  Datasources verify credential signatures
+against the CA's public key before basing access-control decisions on
+the asserted properties — a forged or tampered credential is rejected,
+which the failure-injection tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import rsa
+from repro.errors import CredentialError
+from repro.mediation.credentials import (
+    Credential,
+    IdentityCertificate,
+    Property,
+    credential_payload,
+    identity_payload,
+)
+
+
+class CertificationAuthority:
+    """Issues and verifies credentials and identity certificates."""
+
+    def __init__(self, name: str = "CA", key_bits: int = 1024) -> None:
+        self.name = name
+        self._signing_key = rsa.generate_keypair(key_bits)
+
+    @property
+    def verification_key(self) -> rsa.RSAPublicKey:
+        """The public key every datasource holds to check signatures."""
+        return self._signing_key.public_key()
+
+    def issue_credential(
+        self,
+        properties: set[Property] | frozenset[Property],
+        public_key: rsa.RSAPublicKey,
+    ) -> Credential:
+        """Sign a binding of ``properties`` to ``public_key``."""
+        if not properties:
+            raise CredentialError("a credential must assert at least one property")
+        properties = frozenset(properties)
+        payload = credential_payload(properties, public_key, self.name)
+        signature = rsa.pss_sign(self._signing_key, payload)
+        return Credential(
+            properties=properties,
+            public_key=public_key,
+            issuer=self.name,
+            signature=signature,
+        )
+
+    def issue_identity_certificate(
+        self, identity: str, public_key: rsa.RSAPublicKey
+    ) -> IdentityCertificate:
+        """Sign an identity -> key binding (kept by the client)."""
+        payload = identity_payload(identity, public_key, self.name)
+        signature = rsa.pss_sign(self._signing_key, payload)
+        return IdentityCertificate(
+            identity=identity,
+            public_key=public_key,
+            issuer=self.name,
+            signature=signature,
+        )
+
+
+def verify_credential(
+    credential: Credential, verification_key: rsa.RSAPublicKey
+) -> bool:
+    """Check a credential's CA signature (boolean, never raises)."""
+    return rsa.pss_verify(
+        verification_key, credential.signed_payload(), credential.signature
+    )
+
+
+def verify_identity_certificate(
+    certificate: IdentityCertificate, verification_key: rsa.RSAPublicKey
+) -> bool:
+    return rsa.pss_verify(
+        verification_key, certificate.signed_payload(), certificate.signature
+    )

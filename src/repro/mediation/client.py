@@ -1,0 +1,115 @@
+"""The client party: key material, credentials, decryption helpers.
+
+The client owns
+
+* one or more RSA key pairs — public halves are embedded in credentials,
+  private halves unwrap hybrid ciphertexts,
+* (for private matching) one additively homomorphic key pair — the paper
+  decided "that the client ... should be the only one to generate a
+  public-private homomorphic key pair" (Section 5.1),
+* the credential set issued by the certification authority, plus the
+  identity certificates kept off the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto import hybrid, rsa
+from repro.crypto.homomorphic import AdditiveHomomorphicScheme, PaillierScheme
+from repro.crypto.hybrid import HybridCiphertext, key_fingerprint
+from repro.errors import CredentialError, DecryptionError
+from repro.mediation.ca import CertificationAuthority
+from repro.mediation.credentials import Credential, IdentityCertificate, Property
+
+
+@dataclass
+class Client:
+    """A mediation client with its complete key material."""
+
+    name: str
+    credentials: list[Credential] = field(default_factory=list)
+    identity_certificates: list[IdentityCertificate] = field(default_factory=list)
+    rsa_keys: dict[bytes, rsa.RSAPrivateKey] = field(default_factory=dict)
+    homomorphic_scheme: AdditiveHomomorphicScheme | None = None
+    homomorphic_key: Any = None
+
+    # -- hybrid decryption -------------------------------------------------
+
+    def decrypt_hybrid(
+        self, ciphertext: HybridCiphertext, associated_data: bytes = b""
+    ) -> bytes:
+        """Unwrap with whichever private key matches the ciphertext."""
+        for fingerprint, private_key in self.rsa_keys.items():
+            if fingerprint in ciphertext.wrapped_keys:
+                return hybrid.decrypt(private_key, ciphertext, associated_data)
+        raise DecryptionError(
+            f"client {self.name} holds no key for this hybrid ciphertext"
+        )
+
+    # -- homomorphic key -----------------------------------------------------
+
+    @property
+    def homomorphic_public_key(self) -> Any:
+        """Public half distributed with the credentials (Section 5.1)."""
+        if self.homomorphic_scheme is None or self.homomorphic_key is None:
+            raise CredentialError(
+                f"client {self.name} has no homomorphic key pair"
+            )
+        return self.homomorphic_scheme.public_key(self.homomorphic_key)
+
+    def decrypt_homomorphic(self, ciphertext: Any) -> int:
+        if self.homomorphic_scheme is None:
+            raise CredentialError(
+                f"client {self.name} has no homomorphic key pair"
+            )
+        return self.homomorphic_scheme.decrypt(self.homomorphic_key, ciphertext)
+
+    # -- credential selection --------------------------------------------------
+
+    def credential_public_keys(self) -> list[rsa.RSAPublicKey]:
+        seen: set[bytes] = set()
+        keys = []
+        for credential in self.credentials:
+            fp = credential.fingerprint()
+            if fp not in seen:
+                seen.add(fp)
+                keys.append(credential.public_key)
+        return keys
+
+
+def setup_client(
+    ca: CertificationAuthority,
+    identity: str,
+    properties: set[Property],
+    key_count: int = 1,
+    rsa_bits: int = 1024,
+    homomorphic_scheme: AdditiveHomomorphicScheme | None = None,
+) -> Client:
+    """The preparatory phase: generate keys, acquire credentials.
+
+    Produces ``key_count`` RSA key pairs and one credential per key, each
+    asserting the full property set (richer splits — one property per
+    credential — can be assembled manually from the CA API).  When a
+    homomorphic scheme is given, a homomorphic key pair is generated so
+    the private-matching protocol can run.
+    """
+    client = Client(name=identity)
+    for _ in range(key_count):
+        private_key = rsa.generate_keypair(rsa_bits)
+        public_key = private_key.public_key()
+        client.rsa_keys[key_fingerprint(public_key)] = private_key
+        client.credentials.append(ca.issue_credential(properties, public_key))
+        client.identity_certificates.append(
+            ca.issue_identity_certificate(identity, public_key)
+        )
+    if homomorphic_scheme is not None:
+        client.homomorphic_scheme = homomorphic_scheme
+        client.homomorphic_key = homomorphic_scheme.generate_keypair()
+    return client
+
+
+def default_homomorphic_scheme(key_bits: int = 512) -> PaillierScheme:
+    """The paper's default: Paillier."""
+    return PaillierScheme(key_bits)

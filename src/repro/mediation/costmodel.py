@@ -1,0 +1,83 @@
+"""Network cost models: estimating transfer time from transcripts.
+
+The paper's motivating deployment is *inter-enterprise* — "a dynamic
+environment with several loosely coupled participants" — where links are
+WANs, not a lab LAN.  The in-process bus measures messages and bytes
+exactly; a :class:`NetworkCostModel` converts those into estimated
+transfer seconds under a latency/bandwidth model:
+
+    transfer(link) = messages(link) * latency + bytes(link) / bandwidth
+
+This matters for the Section 6 ranking: on a LAN, byte volume dominates
+and the commutative protocol's lean payloads win outright; on a
+high-latency WAN the *round* counts gain weight, and DAS — whose
+datasources "only have to send data once" — claws back ground.  The
+cost-model benchmark quantifies that shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.mediation.network import Network
+
+
+@dataclass(frozen=True)
+class NetworkCostModel:
+    """Per-message latency and per-byte bandwidth of every link."""
+
+    name: str
+    latency_seconds: float
+    bandwidth_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ParameterError("latency must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ParameterError("bandwidth must be positive")
+
+    def message_cost(self, size_bytes: int) -> float:
+        """Estimated seconds to deliver one message."""
+        return self.latency_seconds + size_bytes / self.bandwidth_bytes_per_second
+
+    def transcript_cost(self, network: Network) -> float:
+        """Total transfer seconds of a transcript, serialized.
+
+        Messages are costed one after another — the protocols here are
+        sequential (every step waits for the previous one), so serial
+        accumulation matches the actual dependency chain.
+        """
+        return sum(
+            self.message_cost(message.size_bytes)
+            for message in network.transcript
+        )
+
+    def link_cost(self, network: Network, a: str, b: str) -> float:
+        """Transfer seconds attributable to one (undirected) link."""
+        return sum(
+            self.message_cost(message.size_bytes)
+            for message in network.transcript
+            if {message.sender, message.receiver} == {a, b}
+        )
+
+
+#: 10 GbE datacenter link: negligible latency, very high bandwidth.
+LAN = NetworkCostModel(
+    name="lan", latency_seconds=0.0002,
+    bandwidth_bytes_per_second=1.25e9,
+)
+
+#: Inter-enterprise WAN: tens of ms latency, ~100 Mbit/s.
+WAN = NetworkCostModel(
+    name="wan", latency_seconds=0.04,
+    bandwidth_bytes_per_second=12.5e6,
+)
+
+#: Consumer internet / mobile: high latency, modest uplink.
+INTERNET = NetworkCostModel(
+    name="internet", latency_seconds=0.1,
+    bandwidth_bytes_per_second=2.5e6,
+)
+
+PRESETS = {model.name: model for model in (LAN, WAN, INTERNET)}

@@ -1,0 +1,127 @@
+"""Credentials: property assertions bound to client public keys.
+
+Section 2: *"Each credential links properties of the client to one of
+his public encryption keys but in general does not contain details on
+his identity; the client keeps other certificates linking his identity
+to each public key in a safe place to enable identification in case it
+is needed."*
+
+A :class:`Credential` therefore carries a set of property name/value
+pairs and one RSA public encryption key, signed by the certification
+authority.  The separate :class:`IdentityCertificate` binds the client's
+identity to the same key and never travels with queries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto import rsa
+from repro.crypto.hybrid import key_fingerprint
+from repro.errors import CredentialError
+
+#: A property is a (name, value) assertion, e.g. ("role", "physician").
+Property = tuple[str, str]
+
+
+def _canonical_properties(properties: frozenset[Property]) -> list[list[str]]:
+    return sorted([name, value] for name, value in properties)
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A CA-signed binding of properties to a public encryption key."""
+
+    properties: frozenset[Property]
+    public_key: rsa.RSAPublicKey
+    issuer: str
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """Canonical bytes covered by the CA signature."""
+        return credential_payload(self.properties, self.public_key, self.issuer)
+
+    def fingerprint(self) -> bytes:
+        return key_fingerprint(self.public_key)
+
+    def has_property(self, name: str, value: str) -> bool:
+        return (name, value) in self.properties
+
+    def property_value(self, name: str) -> str | None:
+        for candidate, value in self.properties:
+            if candidate == name:
+                return value
+        return None
+
+    def __repr__(self) -> str:
+        props = ", ".join(f"{n}={v}" for n, v in _canonical_properties(self.properties))
+        return f"Credential({props}; key={self.fingerprint().hex()[:8]})"
+
+
+def credential_payload(
+    properties: frozenset[Property],
+    public_key: rsa.RSAPublicKey,
+    issuer: str,
+) -> bytes:
+    """Canonical serialization of credential contents for signing."""
+    return json.dumps(
+        {
+            "type": "credential",
+            "issuer": issuer,
+            "properties": _canonical_properties(properties),
+            "key": {"n": public_key.n, "e": public_key.e},
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class IdentityCertificate:
+    """Binds a client identity to a public key — kept off the wire."""
+
+    identity: str
+    public_key: rsa.RSAPublicKey
+    issuer: str
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return identity_payload(self.identity, self.public_key, self.issuer)
+
+
+def identity_payload(
+    identity: str, public_key: rsa.RSAPublicKey, issuer: str
+) -> bytes:
+    return json.dumps(
+        {
+            "type": "identity",
+            "issuer": issuer,
+            "identity": identity,
+            "key": {"n": public_key.n, "e": public_key.e},
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def properties_of(credentials: list[Credential]) -> frozenset[Property]:
+    """Union of all properties asserted by a credential set."""
+    result: set[Property] = set()
+    for credential in credentials:
+        result |= credential.properties
+    return frozenset(result)
+
+
+def public_keys_of(credentials: list[Credential]) -> list[rsa.RSAPublicKey]:
+    """Distinct public keys presented by a credential set (stable order)."""
+    seen: set[bytes] = set()
+    keys = []
+    for credential in credentials:
+        fp = credential.fingerprint()
+        if fp not in seen:
+            seen.add(fp)
+            keys.append(credential.public_key)
+    if not keys:
+        raise CredentialError("credential set presents no public keys")
+    return keys

@@ -1,0 +1,100 @@
+"""The datasource party: relations, access control, query execution.
+
+A datasource holds named relations, a per-relation access policy, and
+the CA verification key.  On receiving a partial query with a credential
+subset it (1) verifies every credential signature, (2) evaluates the
+policy over the asserted properties, and (3) executes the partial query
+over the *permitted* rows — so, as Section 6 stresses, "even if the
+client receives a superset of the global result ... he never receives
+data he is not allowed to read".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import rsa
+from repro.errors import AccessDenied, CredentialError, QueryError
+from repro.mediation.access_control import AccessPolicy, allow_all
+from repro.mediation.ca import verify_credential
+from repro.mediation.credentials import Credential
+from repro.relational.algebra import PartialQuery
+from repro.relational.relation import Relation
+
+
+@dataclass
+class DataSource:
+    """One contracted datasource of the mediator."""
+
+    name: str
+    relations: dict[str, Relation] = field(default_factory=dict)
+    policies: dict[str, AccessPolicy] = field(default_factory=dict)
+    ca_key: rsa.RSAPublicKey | None = None
+    #: Property names this source's policies refer to; the mediator uses
+    #: this to select the credential subset CR_i it forwards.
+    relevant_property_names: frozenset[str] = frozenset()
+    #: Lazily generated keypair — only needed by the DAS *source setting*,
+    #: where the translating source receives the opposite index table
+    #: encrypted for itself.
+    _keypair: rsa.RSAPrivateKey | None = field(default=None, repr=False)
+
+    def ensure_keypair(self, bits: int = 1024) -> rsa.RSAPublicKey:
+        """The source's own public encryption key (generated on demand)."""
+        if self._keypair is None:
+            self._keypair = rsa.generate_keypair(bits)
+        return self._keypair.public_key()
+
+    def private_key(self) -> rsa.RSAPrivateKey:
+        if self._keypair is None:
+            raise CredentialError(
+                f"datasource {self.name} has no keypair; call ensure_keypair"
+            )
+        return self._keypair
+
+    def add_relation(
+        self, relation: Relation, policy: AccessPolicy | None = None
+    ) -> None:
+        self.relations[relation.name] = relation
+        self.policies[relation.name] = policy or allow_all()
+        names = {
+            name
+            for rule in self.policies[relation.name].rules
+            for name, _ in rule.required_properties
+        }
+        self.relevant_property_names = self.relevant_property_names | names
+
+    def check_credentials(self, credentials: list[Credential]) -> list[Credential]:
+        """Signature-verify the presented credentials; drop invalid ones.
+
+        An empty *valid* set is an authorization failure (raised later by
+        the policy), but a *tampered* credential is a hard error — the
+        paper's datasources only ever act on CA-certified properties.
+        """
+        if self.ca_key is None:
+            raise CredentialError(f"datasource {self.name} has no CA key")
+        valid = []
+        for credential in credentials:
+            if not verify_credential(credential, self.ca_key):
+                raise CredentialError(
+                    f"datasource {self.name}: credential signature invalid"
+                )
+            valid.append(credential)
+        return valid
+
+    def execute_partial_query(
+        self, query: PartialQuery, credentials: list[Credential]
+    ) -> Relation:
+        """Listing 1 step 4: check credentials, execute ``q_i`` -> ``R_i``."""
+        if query.relation_name not in self.relations:
+            raise QueryError(
+                f"datasource {self.name} does not manage {query.relation_name!r}"
+            )
+        valid = self.check_credentials(credentials)
+        policy = self.policies[query.relation_name]
+        try:
+            permitted = policy.evaluate(self.relations[query.relation_name], valid)
+        except AccessDenied as denial:
+            raise AccessDenied(
+                f"datasource {self.name} denied {query.sql!r}: {denial}"
+            ) from denial
+        return query.evaluate({query.relation_name: permitted})

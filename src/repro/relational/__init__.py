@@ -1,0 +1,23 @@
+"""Relational substrate: schemas, relations, algebra, SQL, partitioning.
+
+* :mod:`~repro.relational.schema` — attributes, types, schemas
+* :mod:`~repro.relational.relation` — immutable set-semantics relations
+* :mod:`~repro.relational.conditions` — condition ASTs (Cond_S, Cond_C)
+* :mod:`~repro.relational.algebra` — operators and algebra trees
+* :mod:`~repro.relational.sql` — SQL2Algebra front end
+* :mod:`~repro.relational.partition` — DAS domain partitioning
+* :mod:`~repro.relational.encoding` — canonical byte/int encodings
+* :mod:`~repro.relational.datagen` — synthetic workload generation
+"""
+
+from repro.relational.relation import Relation, relation
+from repro.relational.schema import Attribute, AttributeType, Schema, schema
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Relation",
+    "Schema",
+    "relation",
+    "schema",
+]

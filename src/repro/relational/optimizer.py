@@ -1,0 +1,130 @@
+"""Selection push-down: letting datasources pre-filter partial results.
+
+Section 2 notes that "more complex queries could be executed by the
+datasources" even though the paper keeps partial queries to
+``select *``.  This optimizer implements that extension: selection
+conditions sitting above the join whose attributes all belong to *one*
+relation are pushed into that relation's :class:`PartialQuery`, so the
+datasource filters rows **before** encryption.  Benefits compound:
+
+* fewer tuples encrypted and transmitted (bandwidth + crypto ops),
+* smaller active domains, hence smaller index tables / message sets /
+  polynomials,
+* and strictly less residual information at the mediator (it sees counts
+  of an already-reduced relation).
+
+The transformation is the classic relational-algebra equivalence
+``sigma_c(R1 join R2) = sigma_c(R1) join R2`` when ``attrs(c) ⊆
+attrs(R1) \\ attrs(R2)``; conditions on the *join* attributes are pushed
+to **both** sides (they constrain the shared values).  Mixed conditions
+stay above the join.
+"""
+
+from __future__ import annotations
+
+from repro.relational import algebra
+from repro.relational.conditions import And, Condition, conjunction
+from repro.relational.schema import Schema
+
+
+def _conjuncts(condition: Condition) -> list[Condition]:
+    """Flatten nested ANDs into a conjunct list."""
+    if isinstance(condition, And):
+        flattened: list[Condition] = []
+        for clause in condition.clauses:
+            flattened.extend(_conjuncts(clause))
+        return flattened
+    return [condition]
+
+
+def _owner(
+    condition: Condition, schema_1: Schema, schema_2: Schema
+) -> str | None:
+    """Which side(s) a conjunct can be pushed to.
+
+    Returns "left", "right", "both" (pure join-attribute condition), or
+    None (mixed/unpushable — e.g. it references attributes of both
+    sides, or qualified names of the joined result).
+    """
+    attributes = condition.attributes()
+    if not attributes:
+        return None
+
+    def resolves_in(schema: Schema) -> bool:
+        return all(schema.has(name) for name in attributes)
+
+    in_left = resolves_in(schema_1)
+    in_right = resolves_in(schema_2)
+    if in_left and in_right:
+        return "both"
+    if in_left:
+        return "left"
+    if in_right:
+        return "right"
+    return None
+
+
+def push_down_selections(
+    tree: algebra.AlgebraNode,
+    schemas: dict[str, Schema],
+) -> algebra.AlgebraNode:
+    """Push selections over a single join into the partial queries.
+
+    Handles the shape the mediator decomposes — optional ``Project`` /
+    ``Select`` layers above one ``Join`` of two ``PartialQuery`` leaves.
+    Any other shape is returned unchanged (the transform is best-effort
+    and must never alter semantics).
+    """
+    if isinstance(tree, algebra.Project):
+        inner = push_down_selections(tree.child, schemas)
+        return algebra.Project(tree.attributes, inner)
+    if not isinstance(tree, algebra.Select):
+        return tree
+    join = tree.child
+    if not isinstance(join, algebra.Join):
+        return tree
+    left, right = join.left, join.right
+    if not isinstance(left, algebra.PartialQuery) or not isinstance(
+        right, algebra.PartialQuery
+    ):
+        return tree
+    schema_1 = schemas.get(left.relation_name)
+    schema_2 = schemas.get(right.relation_name)
+    if schema_1 is None or schema_2 is None:
+        return tree
+
+    left_conditions: list[Condition] = []
+    right_conditions: list[Condition] = []
+    residual: list[Condition] = []
+    for conjunct in _conjuncts(tree.condition):
+        owner = _owner(conjunct, schema_1, schema_2)
+        if owner == "left":
+            left_conditions.append(conjunct)
+        elif owner == "right":
+            right_conditions.append(conjunct)
+        elif owner == "both":
+            left_conditions.append(conjunct)
+            right_conditions.append(conjunct)
+        else:
+            residual.append(conjunct)
+
+    if not left_conditions and not right_conditions:
+        return tree
+
+    def with_conditions(
+        leaf: algebra.PartialQuery, conditions: list[Condition]
+    ) -> algebra.PartialQuery:
+        if not conditions:
+            return leaf
+        existing = [leaf.condition] if leaf.condition is not None else []
+        return algebra.PartialQuery(
+            leaf.relation_name, conjunction(existing + conditions)
+        )
+
+    pushed = algebra.Join(
+        with_conditions(left, left_conditions),
+        with_conditions(right, right_conditions),
+    )
+    if residual:
+        return algebra.Select(conjunction(residual), pushed)
+    return pushed

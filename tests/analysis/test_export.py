@@ -1,0 +1,66 @@
+"""Tests for the JSON audit export."""
+
+import json
+
+import pytest
+
+from repro import run_join_query
+from repro.analysis.export import export_run, export_run_json
+
+QUERY = "select * from R1 natural join R2"
+
+
+@pytest.fixture(scope="module")
+def result(ca, client, workload):
+    from repro import Federation
+    from repro.mediation.access_control import allow_all
+
+    federation = Federation(ca=ca)
+    federation.add_source("S1", [(workload.relation_1, allow_all())])
+    federation.add_source("S2", [(workload.relation_2, allow_all())])
+    federation.attach_client(client)
+    return run_join_query(federation, QUERY, protocol="commutative")
+
+
+class TestExport:
+    def test_record_shape(self, result):
+        record = export_run(result)
+        assert record["protocol"] == "commutative"
+        assert record["query"] == QUERY
+        assert record["result_rows"] == len(result.global_result)
+        assert record["totals"]["messages"] == len(result.network.transcript)
+        assert record["totals"]["bytes"] == result.total_bytes()
+
+    def test_transcript_entries(self, result):
+        record = export_run(result)
+        transcript = record["transcript"]
+        assert len(transcript) == len(result.network.transcript)
+        first = transcript[0]
+        assert first["kind"] == "global_query"
+        assert set(first) == {
+            "sequence", "sender", "receiver", "kind", "size_bytes",
+            "body_fingerprint",
+        }
+
+    def test_no_payload_bytes_in_export(self, result, workload):
+        # The export must never contain tuple plaintext (fingerprints only).
+        text = export_run_json(result)
+        for row in workload.relation_1:
+            for value in row:
+                if isinstance(value, str) and len(value) > 4:
+                    assert value not in text
+
+    def test_fingerprints_stable(self, result):
+        a = export_run(result)["transcript"][0]["body_fingerprint"]
+        b = export_run(result)["transcript"][0]["body_fingerprint"]
+        assert a == b
+
+    def test_json_round_trip(self, result):
+        parsed = json.loads(export_run_json(result))
+        assert parsed["leakage"]["mediator_learns"]["intersection_size"] >= 0
+        assert "commutative encryption" in parsed["primitives"]["categories"]
+
+    def test_timings_present(self, result):
+        record = export_run(result)
+        assert record["timings"]
+        assert all(t["seconds"] >= 0 for t in record["timings"])

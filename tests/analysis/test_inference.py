@@ -1,0 +1,83 @@
+"""Tests for the partition-inference ablation analysis (A1)."""
+
+import pytest
+
+from repro import DASConfig, run_join_query
+from repro.analysis.inference import (
+    das_efficiency,
+    partition_exposure,
+)
+from repro.errors import ProtocolError
+from repro.relational.partition import build_index_table, equi_depth, singleton
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+QUERY = "select * from R1 natural join R2"
+
+S = schema("R", k="int", p="string")
+R = Relation(S, [(i, f"p{i}") for i in range(12)] + [(0, "dup")])
+
+
+class TestExposure:
+    def test_singleton_exposure_is_one(self):
+        table = build_index_table("R.k", singleton(R.active_domain("k")), salt=b"s")
+        report = partition_exposure(table, R)
+        assert report.tuple_exposure == pytest.approx(1.0)
+        assert report.value_exposure == pytest.approx(1.0)
+
+    def test_single_bucket_exposure_is_inverse_domain(self):
+        table = build_index_table(
+            "R.k", equi_depth(R.active_domain("k"), 1), salt=b"s"
+        )
+        report = partition_exposure(table, R)
+        assert report.tuple_exposure == pytest.approx(1 / 12)
+        assert report.value_exposure == pytest.approx(1 / 12)
+
+    def test_exposure_monotone_in_buckets(self):
+        exposures = []
+        for buckets in (1, 2, 4, 12):
+            table = build_index_table(
+                "R.k", equi_depth(R.active_domain("k"), buckets), salt=b"s"
+            )
+            exposures.append(partition_exposure(table, R).value_exposure)
+        assert exposures == sorted(exposures)
+
+    def test_report_metadata(self):
+        table = build_index_table(
+            "R.k", equi_depth(R.active_domain("k"), 3), salt=b"s"
+        )
+        report = partition_exposure(table, R)
+        assert report.partitions == 3
+        assert report.covered_values == 12
+
+
+class TestDASEfficiency:
+    def test_extraction(self, ca, client, workload):
+        from repro import Federation
+        from repro.mediation.access_control import allow_all
+
+        federation = Federation(ca=ca)
+        federation.add_source("S1", [(workload.relation_1, allow_all())])
+        federation.add_source("S2", [(workload.relation_2, allow_all())])
+        federation.attach_client(client)
+        result = run_join_query(
+            federation, QUERY, protocol="das", config=DASConfig(buckets=2)
+        )
+        report = das_efficiency(result)
+        assert report.buckets_configured == 2
+        assert report.server_result_size == (
+            report.exact_join_size + report.false_positives
+        )
+        assert 0.0 <= report.false_positive_rate <= 1.0
+
+    def test_requires_das_run(self, ca, client, workload):
+        from repro import Federation
+        from repro.mediation.access_control import allow_all
+
+        federation = Federation(ca=ca)
+        federation.add_source("S1", [(workload.relation_1, allow_all())])
+        federation.add_source("S2", [(workload.relation_2, allow_all())])
+        federation.attach_client(client)
+        result = run_join_query(federation, QUERY, protocol="commutative")
+        with pytest.raises(ProtocolError):
+            das_efficiency(result)

@@ -1,0 +1,59 @@
+"""Tests for global-result assembly from matched tuple sets."""
+
+import pytest
+
+from repro.core.assembly import combine_tuple_sets, result_schema
+from repro.errors import ProtocolError
+from repro.relational.algebra import natural_join
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+S1 = schema("R1", k="int", a="string")
+S2 = schema("R2", k="int", b="string")
+
+
+class TestResultSchema:
+    def test_names(self):
+        joined = result_schema(S1, S2)
+        assert joined.names() == ("k", "a", "b")
+        assert joined.relation_name == "R1_join_R2"
+
+    def test_custom_name(self):
+        assert result_schema(S1, S2, "X").relation_name == "X"
+
+
+class TestCombine:
+    def test_cross_product_per_key(self):
+        matched = [
+            ((1,), ((1, "a1"), (1, "a2")), ((1, "b1"),)),
+            ((2,), ((2, "a3"),), ((2, "b2"), (2, "b3"))),
+        ]
+        out = combine_tuple_sets(S1, S2, ("k",), matched)
+        assert len(out) == 2 + 2
+        assert (1, "a1", "b1") in out and (2, "a3", "b3") in out
+
+    def test_empty_match_list(self):
+        out = combine_tuple_sets(S1, S2, ("k",), [])
+        assert len(out) == 0
+        assert out.schema.names() == ("k", "a", "b")
+
+    def test_matches_reference_join(self):
+        r1 = Relation(S1, [(1, "x"), (1, "y"), (2, "z")])
+        r2 = Relation(S2, [(1, "p"), (3, "q")])
+        matched = [((1,), tuple(r1.tuples_with("k", 1)), tuple(r2.tuples_with("k", 1)))]
+        out = combine_tuple_sets(S1, S2, ("k",), matched)
+        assert out == natural_join(r1, r2)
+
+    def test_key_mismatch_fails_closed(self):
+        # A forged tuple set whose rows do not carry the claimed key must
+        # be rejected, not silently joined.
+        matched = [((1,), ((2, "forged"),), ((1, "b"),))]
+        with pytest.raises(ProtocolError):
+            combine_tuple_sets(S1, S2, ("k",), matched)
+
+    def test_composite_keys(self):
+        sa = schema("A", k="int", t="string", a="string")
+        sb = schema("B", k="int", t="string", b="string")
+        matched = [((1, "x"), ((1, "x", "pa"),), ((1, "x", "pb"),))]
+        out = combine_tuple_sets(sa, sb, ("k", "t"), matched)
+        assert out.rows == ((1, "x", "pa", "pb"),)

@@ -1,0 +1,189 @@
+"""Tests for the commutative-encryption delivery phase (Listing 3)."""
+
+import pytest
+
+from repro import CommutativeConfig, run_join_query
+from repro.core.joinkeys import active_key_domain
+from repro.relational.algebra import natural_join
+from repro.relational.datagen import WorkloadSpec, generate
+
+QUERY = "select * from R1 natural join R2"
+
+
+@pytest.fixture(scope="module")
+def expected(workload):
+    return natural_join(workload.relation_1, workload.relation_2)
+
+
+class TestCorrectness:
+    def test_matches_reference(self, make_federation, workload, expected):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        assert result.global_result == expected
+
+    def test_with_tuple_ids(self, make_federation, workload, expected):
+        result = run_join_query(
+            make_federation(workload),
+            QUERY,
+            protocol="commutative",
+            config=CommutativeConfig(use_tuple_ids=True),
+        )
+        assert result.global_result == expected
+
+    def test_string_join(self, make_federation, string_workload):
+        result = run_join_query(
+            make_federation(string_workload),
+            "select * from clinic natural join lab",
+            protocol="commutative",
+        )
+        assert result.global_result == natural_join(
+            string_workload.relation_1, string_workload.relation_2
+        )
+
+    def test_skewed_multiplicities(self, make_federation, skewed_workload):
+        result = run_join_query(
+            make_federation(skewed_workload), QUERY, protocol="commutative"
+        )
+        assert result.global_result == natural_join(
+            skewed_workload.relation_1, skewed_workload.relation_2
+        )
+
+    def test_empty_intersection(self, make_federation):
+        workload = generate(WorkloadSpec(domain_1=4, domain_2=4, overlap=0, seed=3))
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        assert len(result.global_result) == 0
+        assert result.artifacts["intersection_size"] == 0
+
+    def test_multi_attribute_join(self, ca, client):
+        from repro import Federation
+        from repro.mediation.access_control import allow_all
+        from repro.relational.relation import Relation
+        from repro.relational.schema import schema
+
+        r1 = Relation(
+            schema("A", k="int", t="string", a="string"),
+            [(1, "x", "a1"), (1, "y", "a2"), (2, "x", "a3")],
+        )
+        r2 = Relation(
+            schema("B", k="int", t="string", b="string"),
+            [(1, "x", "b1"), (2, "y", "b2"), (2, "x", "b3")],
+        )
+        federation = Federation(ca=ca)
+        federation.add_source("SA", [(r1, allow_all())])
+        federation.add_source("SB", [(r2, allow_all())])
+        federation.attach_client(client)
+        result = run_join_query(
+            federation, "select * from A natural join B", protocol="commutative"
+        )
+        assert result.global_result == natural_join(r1, r2)
+
+    def test_larger_group(self, make_federation, workload, expected):
+        result = run_join_query(
+            make_federation(workload),
+            QUERY,
+            protocol="commutative",
+            config=CommutativeConfig(group_bits=256),
+        )
+        assert result.global_result == expected
+
+    def test_group_verification_enabled(self, make_federation, workload, expected):
+        result = run_join_query(
+            make_federation(workload),
+            QUERY,
+            protocol="commutative",
+            config=CommutativeConfig(verify_group=True),
+        )
+        assert result.global_result == expected
+
+
+class TestArtifacts:
+    def test_active_domain_sizes(self, make_federation, workload):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        sizes = result.artifacts["active_domain_sizes"]
+        assert sizes["S1"] == len(active_key_domain(workload.relation_1, ("k",)))
+        assert sizes["S2"] == len(active_key_domain(workload.relation_2, ("k",)))
+
+    def test_intersection_size(self, make_federation, workload):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        dom_1 = set(workload.relation_1.active_domain("k"))
+        dom_2 = set(workload.relation_2.active_domain("k"))
+        assert result.artifacts["intersection_size"] == len(dom_1 & dom_2)
+
+    def test_id_table_only_in_ids_mode(self, make_federation, workload):
+        plain = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        with_ids = run_join_query(
+            make_federation(workload),
+            QUERY,
+            protocol="commutative",
+            config=CommutativeConfig(use_tuple_ids=True),
+        )
+        assert plain.artifacts["id_table_entries"] == 0
+        assert with_ids.artifacts["id_table_entries"] == (
+            plain.artifacts["active_domain_sizes"]["S1"]
+            + plain.artifacts["active_domain_sizes"]["S2"]
+        )
+
+
+class TestProtocolShape:
+    def test_flow_kinds(self, make_federation, workload):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        kinds = [m.kind for m in result.network.transcript]
+        assert kinds == [
+            "global_query",
+            "partial_query",
+            "partial_query",
+            "commutative_setup",
+            "commutative_setup",
+            "commutative_m_set",
+            "commutative_m_set",
+            "commutative_exchange",
+            "commutative_exchange",
+            "commutative_double",
+            "commutative_double",
+            "commutative_result",
+        ]
+
+    def test_client_interacts_once(self, make_federation, workload, client):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        assert result.network.interaction_count(client.name, "mediator") == 1
+
+    def test_sources_interact_twice(self, make_federation, workload):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        for source in ("S1", "S2"):
+            assert result.network.interaction_count(source, "mediator") == 2
+
+    def test_id_optimization_reduces_traffic(self, make_federation, workload):
+        plain = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        with_ids = run_join_query(
+            make_federation(workload),
+            QUERY,
+            protocol="commutative",
+            config=CommutativeConfig(use_tuple_ids=True),
+        )
+        assert with_ids.total_bytes() < plain.total_bytes()
+
+    def test_m_set_counts_equal_active_domains(self, make_federation, workload):
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol="commutative"
+        )
+        m_sets = result.network.messages_of_kind("commutative_m_set")
+        sizes = {m.sender: len(m.body) for m in m_sets}
+        assert sizes["S1"] == len(workload.relation_1.active_domain("k"))
+        assert sizes["S2"] == len(workload.relation_2.active_domain("k"))

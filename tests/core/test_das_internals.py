@@ -1,0 +1,112 @@
+"""White-box tests for DAS delivery internals."""
+
+import pytest
+
+from repro.core.das import (
+    DASConfig,
+    EncryptedRelation,
+    EncryptedTuple,
+    ServerQuery,
+    _evaluate_server_query,
+    _mixed_split,
+    _partition_domain,
+)
+from repro.crypto import hybrid
+from repro.errors import ProtocolError
+from repro.relational.encoding import encode_row
+from repro.relational.schema import schema
+
+S = schema("R", k="int", a="string", b="string")
+
+
+class TestMixedSplit:
+    def test_default_everything_sensitive(self):
+        sensitive, plain = _mixed_split(S, DASConfig())
+        assert sensitive == [0, 1, 2]
+        assert plain == []
+
+    def test_split_positions(self):
+        config = DASConfig(mixed_plaintext_attributes=("a",))
+        sensitive, plain = _mixed_split(S, config)
+        assert sensitive == [0, 2]
+        assert plain == [1]
+
+    def test_foreign_names_ignored_per_schema(self):
+        # Names belonging to the *other* relation are simply absent here.
+        config = DASConfig(mixed_plaintext_attributes=("other_attr", "b"))
+        sensitive, plain = _mixed_split(S, config)
+        assert plain == [2]
+
+    def test_all_plaintext_rejected(self):
+        config = DASConfig(mixed_plaintext_attributes=("k", "a", "b"))
+        with pytest.raises(ProtocolError):
+            _mixed_split(S, config)
+
+
+class TestPartitionDomain:
+    DOMAIN = (1, 3, 5, 7, 9, 11)
+
+    def test_singleton(self):
+        partitions = _partition_domain(
+            DASConfig(strategy="singleton"), self.DOMAIN, "k"
+        )
+        assert len(partitions) == 6
+
+    def test_equi_depth_respects_buckets(self):
+        partitions = _partition_domain(
+            DASConfig(strategy="equi_depth", buckets=3), self.DOMAIN, "k"
+        )
+        assert len(partitions) == 3
+
+    def test_equi_width_bounds(self):
+        partitions = _partition_domain(
+            DASConfig(strategy="equi_width", buckets=2), self.DOMAIN, "k"
+        )
+        assert all(p.bounds is not None for p in partitions)
+
+
+class TestServerQueryEvaluation:
+    @pytest.fixture(scope="class")
+    def encrypted(self, rsa_key):
+        keys = [rsa_key.public_key()]
+
+        def row(index_value, k):
+            return EncryptedTuple(
+                hybrid.encrypt(keys, encode_row((k, "x", "y"))), index_value
+            )
+
+        left = EncryptedRelation(
+            "S1", "R1", (row(10, 1), row(10, 2), row(20, 3))
+        )
+        right = EncryptedRelation(
+            "S2", "R2", (row(100, 1), row(200, 3), row(200, 4))
+        )
+        return left, right
+
+    def test_pair_selection(self, encrypted):
+        left, right = encrypted
+        result = _evaluate_server_query(
+            ServerQuery(pairs=((10, 100),)), left, right
+        )
+        # Two left rows in bucket 10 x one right row in bucket 100.
+        assert len(result) == 2
+
+    def test_multiple_pairs_accumulate(self, encrypted):
+        left, right = encrypted
+        result = _evaluate_server_query(
+            ServerQuery(pairs=((10, 100), (20, 200))), left, right
+        )
+        assert len(result) == 2 + 2
+
+    def test_duplicate_index_targets(self, encrypted):
+        left, right = encrypted
+        result = _evaluate_server_query(
+            ServerQuery(pairs=((10, 100), (10, 200))), left, right
+        )
+        assert len(result) == 2 + 4
+
+    def test_no_pairs_no_output(self, encrypted):
+        left, right = encrypted
+        assert len(
+            _evaluate_server_query(ServerQuery(pairs=()), left, right)
+        ) == 0

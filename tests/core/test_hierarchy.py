@@ -1,0 +1,126 @@
+"""Tests for successive joins / mediator hierarchies (Section 8)."""
+
+import pytest
+
+from repro import CertificationAuthority, Federation, setup_client
+from repro.core.hierarchy import chain_relations, run_successive_joins
+from repro.errors import QueryError
+from repro.mediation.access_control import allow_all
+from repro.relational.algebra import natural_join
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+
+@pytest.fixture(scope="module")
+def three_relations():
+    r1 = Relation(
+        schema("R1", k="int", a="string"),
+        [(1, "a1"), (2, "a2"), (3, "a3")],
+    )
+    r2 = Relation(
+        schema("R2", k="int", b="string"),
+        [(1, "b1"), (2, "b2"), (4, "b4")],
+    )
+    r3 = Relation(
+        schema("R3", k="int", c="string"),
+        [(1, "c1"), (2, "c2"), (2, "c2b")],
+    )
+    return r1, r2, r3
+
+
+@pytest.fixture
+def hierarchy_federation(ca, client, three_relations):
+    r1, r2, r3 = three_relations
+    federation = Federation(ca=ca)
+    federation.add_source("S1", [(r1, allow_all())])
+    federation.add_source("S2", [(r2, allow_all())])
+    federation.add_source("S3", [(r3, allow_all())])
+    federation.attach_client(client)
+    return federation
+
+
+class TestChainParsing:
+    def test_two_relations(self):
+        assert chain_relations("select * from A natural join B") == ["A", "B"]
+
+    def test_three_relations(self):
+        query = "select * from A natural join B natural join C"
+        assert chain_relations(query) == ["A", "B", "C"]
+
+    def test_single_relation_rejected(self):
+        with pytest.raises(QueryError):
+            chain_relations("select * from A")
+
+
+class TestSuccessiveJoins:
+    QUERY = "select * from R1 natural join R2 natural join R3"
+
+    @pytest.mark.parametrize("protocol", ["commutative", "das", "private-matching"])
+    def test_matches_reference(
+        self, hierarchy_federation, three_relations, protocol
+    ):
+        r1, r2, r3 = three_relations
+        expected = natural_join(natural_join(r1, r2), r3)
+        assert len(expected) == 3  # k=1 once, k=2 twice
+        outcome = run_successive_joins(
+            hierarchy_federation, self.QUERY, protocol=protocol
+        )
+        assert outcome.global_result == expected
+        assert len(outcome.stages) == 2
+
+    def test_two_relation_chain_is_single_stage(self, hierarchy_federation):
+        outcome = run_successive_joins(
+            hierarchy_federation,
+            "select * from R1 natural join R2",
+            protocol="commutative",
+        )
+        assert len(outcome.stages) == 1
+
+    def test_stage_transcripts_independent(self, hierarchy_federation):
+        outcome = run_successive_joins(
+            hierarchy_federation, self.QUERY, protocol="commutative"
+        )
+        assert outcome.stages[0].network is not outcome.stages[1].network
+        assert outcome.total_bytes() == sum(
+            stage.total_bytes() for stage in outcome.stages
+        )
+        assert outcome.total_seconds() >= 0
+
+    def test_second_stage_has_delegate_source(self, hierarchy_federation):
+        outcome = run_successive_joins(
+            hierarchy_federation, self.QUERY, protocol="commutative"
+        )
+        second = outcome.stages[1]
+        parties = set(second.network.parties())
+        assert any(p.startswith("lower-mediator") for p in parties)
+
+    def test_unknown_relation_rejected(self, hierarchy_federation):
+        with pytest.raises(QueryError):
+            run_successive_joins(
+                hierarchy_federation,
+                "select * from R1 natural join R2 natural join R9",
+                protocol="commutative",
+            )
+
+    def test_four_relation_chain(self, ca, client, three_relations):
+        """Three stages deep: (((R1 ⋈ R2) ⋈ R3) ⋈ R4)."""
+        r1, r2, r3 = three_relations
+        r4 = Relation(
+            schema("R4", k="int", d="string"),
+            [(1, "d1"), (2, "d2"), (9, "d9")],
+        )
+        federation = Federation(ca=ca)
+        for name, rel in (("S1", r1), ("S2", r2), ("S3", r3), ("S4", r4)):
+            federation.add_source(name, [(rel, allow_all())])
+        federation.attach_client(client)
+        expected = natural_join(
+            natural_join(natural_join(r1, r2), r3), r4
+        )
+        outcome = run_successive_joins(
+            federation,
+            "select * from R1 natural join R2 natural join R3 "
+            "natural join R4",
+            protocol="commutative",
+        )
+        assert outcome.global_result == expected
+        assert len(outcome.stages) == 3

@@ -1,0 +1,88 @@
+"""Tests for join-key extraction and encodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import joinkeys
+from repro.errors import EncodingError
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+S = schema("R", k="int", t="string", p="string")
+R = Relation(
+    S,
+    [
+        (1, "a", "x1"),
+        (1, "a", "x2"),
+        (1, "b", "x3"),
+        (2, "a", "x4"),
+    ],
+)
+
+key_strategy = st.tuples(
+    st.integers(min_value=0, max_value=10**9),
+    st.text(max_size=10),
+    st.booleans(),
+)
+
+
+class TestExtraction:
+    def test_single_attribute_key(self):
+        keys = joinkeys.active_key_domain(R, ("k",))
+        assert keys == ((1,), (2,))
+
+    def test_composite_key(self):
+        keys = joinkeys.active_key_domain(R, ("k", "t"))
+        assert set(keys) == {(1, "a"), (1, "b"), (2, "a")}
+
+    def test_group_by_single(self):
+        groups = joinkeys.group_by_key(R, ("k",))
+        assert len(groups[(1,)]) == 3
+        assert len(groups[(2,)]) == 1
+
+    def test_group_by_composite(self):
+        groups = joinkeys.group_by_key(R, ("k", "t"))
+        assert len(groups[(1, "a")]) == 2
+        assert len(groups[(1, "b")]) == 1
+
+    def test_groups_cover_relation(self):
+        groups = joinkeys.group_by_key(R, ("k", "t"))
+        assert sum(len(rows) for rows in groups.values()) == len(R)
+
+    def test_key_of(self):
+        row = R.rows[0]
+        assert joinkeys.key_of(R, row, ("t", "k")) == (row[1], row[0])
+
+
+class TestEncoding:
+    def test_canonical_across_attribute_sources(self):
+        # Two sources with different schemas, same key values -> same
+        # encoding (the matching-soundness property).
+        assert joinkeys.encode_key((1, "a")) == joinkeys.encode_key((1, "a"))
+
+    def test_distinct_keys_distinct_encodings(self):
+        keys = [(1, "a"), (1, "b"), (2, "a"), ("1", "a"), (12, ""), (1, "a2")]
+        encodings = {joinkeys.encode_key(k) for k in keys}
+        assert len(encodings) == len(keys)
+
+    def test_no_concatenation_ambiguity(self):
+        assert joinkeys.encode_key(("ab", "c")) != joinkeys.encode_key(("a", "bc"))
+
+    @given(key_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_int_round_trip(self, key):
+        assert joinkeys.int_to_key(joinkeys.key_to_int(key, 128)) == key
+
+    def test_empty_string_component(self):
+        key = (0, "", False)
+        assert joinkeys.int_to_key(joinkeys.key_to_int(key)) == key
+
+    def test_size_bound_enforced(self):
+        with pytest.raises(EncodingError):
+            joinkeys.key_to_int(("x" * 100,), max_bytes=16)
+
+    def test_invalid_int_decodings(self):
+        with pytest.raises(EncodingError):
+            joinkeys.int_to_key(0)
+        with pytest.raises(EncodingError):
+            joinkeys.int_to_key(2)  # missing sentinel

@@ -1,0 +1,141 @@
+"""Tests for the SRA commutative cipher over QR_p."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import commutative as comm
+from repro.crypto import groups
+from repro.crypto.hashes import IdealHash
+from repro.errors import KeyError_, ParameterError
+
+
+@pytest.fixture(scope="module")
+def group():
+    return groups.commutative_group(128)
+
+
+@pytest.fixture(scope="module")
+def ideal_hash(group):
+    return IdealHash(group.p)
+
+
+class TestGroup:
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            comm.CommutativeGroup(7)
+
+    def test_non_safe_shape_rejected(self):
+        # 29 is prime but 29 % 4 == 1, so it cannot be a safe prime > 5.
+        with pytest.raises(ParameterError):
+            comm.CommutativeGroup(29)
+
+    def test_verify_known_safe_prime(self, group):
+        assert group.verify()
+
+    def test_verify_rejects_composite(self):
+        bogus = comm.CommutativeGroup(23 * 47 * 2 + 1)  # 2163: 3 mod 4 shape
+        assert not bogus.verify()
+
+    def test_membership(self, group):
+        element = group.random_element()
+        assert group.contains(element)
+        assert not group.contains(0)
+        assert not group.contains(group.p)
+
+    def test_random_elements_are_residues(self, group):
+        for _ in range(20):
+            x = group.random_element()
+            assert pow(x, group.q, group.p) == 1
+
+
+class TestKeys:
+    def test_exponent_coprime(self, group):
+        for _ in range(20):
+            key = comm.generate_key(group)
+            assert math.gcd(key.exponent, group.q) == 1
+
+    def test_out_of_range_exponent_rejected(self, group):
+        with pytest.raises(KeyError_):
+            comm.CommutativeKey(group, 0)
+        with pytest.raises(KeyError_):
+            comm.CommutativeKey(group, group.q)
+
+    def test_non_coprime_exponent_rejected(self):
+        # Build a group whose q has a small factor we can hit: use the
+        # 64-bit precomputed group and the factor q itself is prime, so
+        # q is the only non-coprime value below q... use exponent q -> out
+        # of range anyway; instead verify gcd check via a tiny crafted case.
+        group = comm.CommutativeGroup(23)  # q = 11
+        with pytest.raises(KeyError_):
+            comm.CommutativeKey(group, 11)
+
+    def test_inverse_key(self, group):
+        key = comm.generate_key(group)
+        assert key.inverse().exponent * key.exponent % group.q == 1
+
+
+class TestCipher:
+    def test_apply_invert_round_trip(self, group, ideal_hash):
+        key = comm.generate_key(group)
+        x = ideal_hash(b"value")
+        assert comm.invert(key, comm.apply(key, x)) == x
+
+    def test_commutativity(self, group, ideal_hash):
+        k1, k2 = comm.generate_key(group), comm.generate_key(group)
+        x = ideal_hash(b"alpha")
+        assert comm.apply(k1, comm.apply(k2, x)) == comm.apply(k2, comm.apply(k1, x))
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_commutativity_property(self, group, ideal_hash, data):
+        k1, k2 = comm.generate_key(group), comm.generate_key(group)
+        x = ideal_hash(data)
+        double_12 = comm.apply(k1, comm.apply(k2, x))
+        double_21 = comm.apply(k2, comm.apply(k1, x))
+        assert double_12 == double_21
+        # Full inversion in either order recovers x.
+        assert comm.invert(k2, comm.invert(k1, double_12)) == x
+
+    def test_bijectivity_on_sample(self, group):
+        key = comm.generate_key(group)
+        inputs = {group.random_element() for _ in range(50)}
+        outputs = {comm.apply(key, x) for x in inputs}
+        assert len(outputs) == len(inputs)
+
+    def test_domain_enforced(self, group):
+        key = comm.generate_key(group)
+        non_residue = _find_non_residue(group)
+        with pytest.raises(ParameterError):
+            comm.apply(key, non_residue)
+        with pytest.raises(ParameterError):
+            comm.invert(key, non_residue)
+
+    def test_distinct_keys_distinct_ciphertexts(self, group, ideal_hash):
+        x = ideal_hash(b"val")
+        k1, k2 = comm.generate_key(group), comm.generate_key(group)
+        if k1.exponent != k2.exponent:
+            assert comm.apply(k1, x) != comm.apply(k2, x)
+
+
+class TestMatchingSemantics:
+    """The property Listing 3 relies on: equal values match, others don't."""
+
+    def test_equal_inputs_equal_double_encryption(self, group, ideal_hash):
+        k1, k2 = comm.generate_key(group), comm.generate_key(group)
+        a = ideal_hash(b"common-value")
+        assert comm.apply(k1, comm.apply(k2, a)) == comm.apply(k2, comm.apply(k1, a))
+
+    def test_distinct_inputs_never_collide(self, group, ideal_hash):
+        k1, k2 = comm.generate_key(group), comm.generate_key(group)
+        values = [ideal_hash(f"v{i}".encode()) for i in range(30)]
+        doubled = [comm.apply(k1, comm.apply(k2, v)) for v in values]
+        assert len(set(doubled)) == len(values)
+
+
+def _find_non_residue(group):
+    candidate = 2
+    while group.contains(candidate):
+        candidate += 1
+    return candidate

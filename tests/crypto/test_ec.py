@@ -1,0 +1,102 @@
+"""Tests for elliptic-curve arithmetic (group laws, named curves)."""
+
+import pytest
+
+from repro.crypto.ec import P256, TINY, Curve, Point, brute_force_order
+from repro.errors import ParameterError
+
+
+class TestCurveDefinitions:
+    def test_tiny_base_point_on_curve(self):
+        assert TINY.contains(TINY.gx, TINY.gy)
+
+    def test_tiny_order_is_correct(self):
+        assert brute_force_order(TINY.generator) == TINY.n
+
+    def test_p256_base_point_on_curve(self):
+        assert P256.contains(P256.gx, P256.gy)
+
+    def test_p256_base_point_order(self):
+        # n * G = infinity is the defining property of the group order.
+        assert (P256.n * P256.generator).is_infinity
+
+    def test_singular_curve_rejected(self):
+        with pytest.raises(ParameterError):
+            Curve("bad", 10007, 0, 0, 1, 1, 1)
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(ParameterError):
+            Point(TINY, 1, 1)
+
+    def test_half_infinity_rejected(self):
+        with pytest.raises(ParameterError):
+            Point(TINY, None, 5)
+
+
+class TestGroupLaws:
+    def test_identity(self):
+        g = TINY.generator
+        assert g + TINY.infinity == g
+        assert TINY.infinity + g == g
+
+    def test_inverse(self):
+        g = TINY.generator
+        assert (g + (-g)).is_infinity
+
+    def test_commutativity(self):
+        g = TINY.generator
+        p, q = 3 * g, 7 * g
+        assert p + q == q + p
+
+    def test_associativity(self):
+        g = TINY.generator
+        a, b, c = 2 * g, 5 * g, 11 * g
+        assert (a + b) + c == a + (b + c)
+
+    def test_doubling_consistency(self):
+        g = TINY.generator
+        assert g + g == 2 * g
+
+    def test_scalar_distributes(self):
+        g = TINY.generator
+        assert 5 * g + 8 * g == 13 * g
+
+    def test_scalar_wraps_modulo_order(self):
+        g = TINY.generator
+        assert (TINY.n + 5) * g == 5 * g
+
+    def test_zero_scalar(self):
+        assert (0 * TINY.generator).is_infinity
+
+    def test_subtraction(self):
+        g = TINY.generator
+        assert 9 * g - 4 * g == 5 * g
+
+    def test_cross_curve_addition_rejected(self):
+        with pytest.raises(ParameterError):
+            TINY.generator + P256.generator
+
+    def test_full_cycle(self):
+        g = TINY.generator
+        assert (TINY.n - 1) * g + g == TINY.infinity
+
+
+class TestLiftX:
+    def test_lift_generator_x(self):
+        lifted = TINY.lift_x(TINY.gx)
+        assert lifted is not None
+        assert lifted.x == TINY.gx
+        assert lifted.y in (TINY.gy, TINY.p - TINY.gy)
+
+    def test_lift_nonresidue_returns_none(self):
+        found_none = False
+        for x in range(1, 200):
+            if TINY.lift_x(x) is None:
+                found_none = True
+                break
+        assert found_none
+
+    def test_point_hash_and_equality(self):
+        g = TINY.generator
+        assert hash(2 * g) == hash(g + g)
+        assert 2 * g in {g + g}

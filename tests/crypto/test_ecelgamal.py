@@ -1,0 +1,73 @@
+"""Tests for additively homomorphic EC-ElGamal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ecelgamal
+from repro.crypto.ec import TINY
+from repro.errors import DecryptionError, EncryptionError, KeyError_
+
+
+@pytest.fixture(scope="module")
+def key():
+    return ecelgamal.generate_keypair(TINY)
+
+
+class TestBasics:
+    def test_round_trip(self, key):
+        for m in (0, 1, 57, 500):
+            ct = ecelgamal.encrypt(key.public_key, m)
+            assert ecelgamal.decrypt(key, ct, 1000) == m
+
+    def test_out_of_range_message(self, key):
+        with pytest.raises(EncryptionError):
+            ecelgamal.encrypt(key.public_key, TINY.n)
+        with pytest.raises(EncryptionError):
+            ecelgamal.encrypt(key.public_key, -1)
+
+    def test_probabilistic(self, key):
+        c1 = ecelgamal.encrypt(key.public_key, 9)
+        c2 = ecelgamal.encrypt(key.public_key, 9)
+        assert (c1.c1, c1.c2) != (c2.c1, c2.c2)
+
+    def test_wrong_key_rejected(self, key):
+        other = ecelgamal.generate_keypair(TINY)
+        ct = ecelgamal.encrypt(other.public_key, 3)
+        with pytest.raises(KeyError_):
+            ecelgamal.decrypt(key, ct, 100)
+
+    def test_dlog_bound_exceeded(self, key):
+        ct = ecelgamal.encrypt(key.public_key, 900)
+        with pytest.raises(DecryptionError):
+            ecelgamal.decrypt(key, ct, 100)
+
+
+class TestHomomorphism:
+    @given(st.integers(min_value=0, max_value=400),
+           st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_addition(self, key, a, b):
+        total = ecelgamal.add(
+            ecelgamal.encrypt(key.public_key, a),
+            ecelgamal.encrypt(key.public_key, b),
+        )
+        assert ecelgamal.decrypt(key, total, 800) == a + b
+
+    def test_scalar_multiplication(self, key):
+        ct = ecelgamal.scalar_multiply(ecelgamal.encrypt(key.public_key, 6), 7)
+        assert ecelgamal.decrypt(key, ct, 100) == 42
+
+    def test_operator_sugar(self, key):
+        total = ecelgamal.encrypt(key.public_key, 20) + ecelgamal.encrypt(
+            key.public_key, 22
+        )
+        assert ecelgamal.decrypt(key, total, 100) == 42
+        assert ecelgamal.decrypt(key, 2 * ecelgamal.encrypt(key.public_key, 21), 100) == 42
+
+    def test_mixing_keys_rejected(self, key):
+        other = ecelgamal.generate_keypair(TINY)
+        with pytest.raises(KeyError_):
+            ecelgamal.add(
+                ecelgamal.encrypt(key.public_key, 1),
+                ecelgamal.encrypt(other.public_key, 1),
+            )

@@ -1,0 +1,93 @@
+"""Tests for multiplicative and exponential ElGamal over QR_p."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import elgamal, groups
+from repro.errors import DecryptionError, EncryptionError, KeyError_
+
+
+@pytest.fixture(scope="module")
+def group():
+    return groups.commutative_group(128)
+
+
+@pytest.fixture(scope="module")
+def key(group):
+    return elgamal.generate_keypair(group)
+
+
+class TestMultiplicative:
+    def test_round_trip(self, group, key):
+        message = group.random_element()
+        ct = elgamal.encrypt(key.public_key, message)
+        assert elgamal.decrypt(key, ct) == message
+
+    def test_message_must_be_group_element(self, group, key):
+        non_residue = 2
+        while group.contains(non_residue):
+            non_residue += 1
+        with pytest.raises(EncryptionError):
+            elgamal.encrypt(key.public_key, non_residue)
+
+    def test_multiplicative_homomorphism(self, group, key):
+        a, b = group.random_element(), group.random_element()
+        product = elgamal.multiply(
+            elgamal.encrypt(key.public_key, a), elgamal.encrypt(key.public_key, b)
+        )
+        assert elgamal.decrypt(key, product) == a * b % group.p
+
+    def test_probabilistic(self, group, key):
+        m = group.random_element()
+        c1 = elgamal.encrypt(key.public_key, m)
+        c2 = elgamal.encrypt(key.public_key, m)
+        assert (c1.c1, c1.c2) != (c2.c1, c2.c2)
+
+    def test_wrong_key_rejected(self, group, key):
+        other = elgamal.generate_keypair(group)
+        ct = elgamal.encrypt(other.public_key, group.random_element())
+        with pytest.raises(KeyError_):
+            elgamal.decrypt(key, ct)
+
+    def test_mixing_keys_in_multiply_rejected(self, group, key):
+        other = elgamal.generate_keypair(group)
+        with pytest.raises(KeyError_):
+            elgamal.multiply(
+                elgamal.encrypt(key.public_key, group.random_element()),
+                elgamal.encrypt(other.public_key, group.random_element()),
+            )
+
+
+class TestExponential:
+    def test_round_trip_small(self, key):
+        ct = elgamal.encrypt_exponential(key.public_key, 123)
+        assert elgamal.decrypt_exponential(key, ct, 1000) == 123
+
+    def test_zero(self, key):
+        ct = elgamal.encrypt_exponential(key.public_key, 0)
+        assert elgamal.decrypt_exponential(key, ct, 10) == 0
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_additive_homomorphism(self, key, a, b):
+        total = elgamal.add(
+            elgamal.encrypt_exponential(key.public_key, a),
+            elgamal.encrypt_exponential(key.public_key, b),
+        )
+        assert elgamal.decrypt_exponential(key, total, 1000) == a + b
+
+    def test_scalar_multiply(self, key):
+        ct = elgamal.scalar_multiply(
+            elgamal.encrypt_exponential(key.public_key, 6), 7
+        )
+        assert elgamal.decrypt_exponential(key, ct, 100) == 42
+
+    def test_bound_exceeded_raises(self, key):
+        ct = elgamal.encrypt_exponential(key.public_key, 5000)
+        with pytest.raises(DecryptionError):
+            elgamal.decrypt_exponential(key, ct, 100)
+
+    def test_out_of_range_message(self, group, key):
+        with pytest.raises(EncryptionError):
+            elgamal.encrypt_exponential(key.public_key, group.q)

@@ -1,0 +1,36 @@
+"""Tests for the precomputed safe-prime parameters."""
+
+import pytest
+
+from repro.crypto import groups
+from repro.crypto.numtheory import is_safe_prime
+from repro.errors import ParameterError
+
+
+class TestKnownSafePrimes:
+    @pytest.mark.parametrize("bits", sorted(groups.KNOWN_SAFE_PRIMES))
+    def test_bit_lengths(self, bits):
+        assert groups.KNOWN_SAFE_PRIMES[bits].bit_length() == bits
+
+    @pytest.mark.parametrize("bits", [64, 128, 256])
+    def test_are_safe_primes(self, bits):
+        # Probabilistic verification of the shipped parameters (the
+        # larger sizes are verified by the slow marker in CI-style runs).
+        assert is_safe_prime(groups.KNOWN_SAFE_PRIMES[bits])
+
+    def test_safe_prime_lookup(self):
+        assert groups.safe_prime(128) == groups.KNOWN_SAFE_PRIMES[128]
+
+    def test_safe_prime_generation_fallback(self):
+        p = groups.safe_prime(40)
+        assert p.bit_length() == 40
+        assert is_safe_prime(p)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            groups.safe_prime(8)
+
+    def test_commutative_group_construction(self):
+        group = groups.commutative_group(128)
+        assert group.p == groups.KNOWN_SAFE_PRIMES[128]
+        assert group.q == (group.p - 1) // 2

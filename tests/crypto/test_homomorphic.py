@@ -1,0 +1,68 @@
+"""Tests for the scheme-agnostic homomorphic interface."""
+
+import pytest
+
+from repro.crypto.ec import TINY
+from repro.crypto.homomorphic import ECElGamalScheme, PaillierScheme
+
+
+@pytest.fixture(
+    scope="module",
+    params=["paillier", "ec-elgamal"],
+)
+def scheme(request):
+    if request.param == "paillier":
+        return PaillierScheme(256)
+    return ECElGamalScheme(TINY, dlog_bound=2000)
+
+
+@pytest.fixture(scope="module")
+def keypair(scheme):
+    return scheme.generate_keypair()
+
+
+class TestSchemeContract:
+    """Every adapter must satisfy the interface the protocols rely on."""
+
+    def test_round_trip(self, scheme, keypair):
+        pk = scheme.public_key(keypair)
+        for m in (0, 1, 42):
+            assert scheme.decrypt(keypair, scheme.encrypt(pk, m)) == m
+
+    def test_addition(self, scheme, keypair):
+        pk = scheme.public_key(keypair)
+        total = scheme.add(scheme.encrypt(pk, 20), scheme.encrypt(pk, 22))
+        assert scheme.decrypt(keypair, total) == 42
+
+    def test_scalar_multiplication(self, scheme, keypair):
+        pk = scheme.public_key(keypair)
+        ct = scheme.scalar_multiply(scheme.encrypt(pk, 6), 7)
+        assert scheme.decrypt(keypair, ct) == 42
+
+    def test_add_plain(self, scheme, keypair):
+        pk = scheme.public_key(keypair)
+        ct = scheme.add_plain(scheme.encrypt(pk, 40), 2)
+        assert scheme.decrypt(keypair, ct) == 42
+
+    def test_plaintext_bound_positive(self, scheme, keypair):
+        pk = scheme.public_key(keypair)
+        assert scheme.plaintext_bound(pk) > 1000
+
+    def test_ciphertext_size_positive(self, scheme, keypair):
+        pk = scheme.public_key(keypair)
+        assert scheme.ciphertext_size_bytes(scheme.encrypt(pk, 1)) > 0
+
+
+class TestECElGamalSpecifics:
+    def test_out_of_band_decrypt_is_sentinel(self):
+        scheme = ECElGamalScheme(TINY, dlog_bound=100)
+        keypair = scheme.generate_keypair()
+        pk = scheme.public_key(keypair)
+        # A plaintext beyond the dlog bound decodes to the sentinel value
+        # (plaintext_bound), which payload decoding will reject.
+        big = scheme.encrypt(pk, 500)
+        assert scheme.decrypt(keypair, big) == 101
+
+    def test_bound_clamped_to_curve_order(self):
+        scheme = ECElGamalScheme(TINY, dlog_bound=10**9)
+        assert scheme.dlog_bound <= TINY.n - 1

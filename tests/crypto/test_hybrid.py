@@ -1,0 +1,89 @@
+"""Tests for the hybrid (KEM/DEM) encryption scheme."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import hybrid, rsa
+from repro.errors import DecryptionError, IntegrityError
+
+
+@pytest.fixture(scope="module")
+def key(rsa_key):
+    return rsa_key
+
+
+@pytest.fixture(scope="module")
+def second_key():
+    return rsa.generate_keypair(1024)
+
+
+class TestHybrid:
+    def test_round_trip(self, key):
+        ct = hybrid.encrypt([key.public_key()], b"the partial result")
+        assert hybrid.decrypt(key, ct) == b"the partial result"
+
+    def test_large_payload(self, key):
+        payload = b"tuple-data" * 10_000
+        ct = hybrid.encrypt([key.public_key()], payload)
+        assert hybrid.decrypt(key, ct) == payload
+
+    def test_multiple_recipients(self, key, second_key):
+        ct = hybrid.encrypt([key.public_key(), second_key.public_key()], b"shared")
+        assert hybrid.decrypt(key, ct) == b"shared"
+        assert hybrid.decrypt(second_key, ct) == b"shared"
+        assert len(ct.wrapped_keys) == 2
+
+    def test_non_recipient_cannot_decrypt(self, key, second_key):
+        ct = hybrid.encrypt([key.public_key()], b"private")
+        with pytest.raises(DecryptionError):
+            hybrid.decrypt(second_key, ct)
+
+    def test_no_recipients_rejected(self):
+        with pytest.raises(DecryptionError):
+            hybrid.encrypt([], b"data")
+
+    def test_associated_data(self, key):
+        ct = hybrid.encrypt([key.public_key()], b"payload", b"msg-header")
+        assert hybrid.decrypt(key, ct, b"msg-header") == b"payload"
+        with pytest.raises(IntegrityError):
+            hybrid.decrypt(key, ct, b"other-header")
+
+    def test_tampered_body_detected(self, key):
+        ct = hybrid.encrypt([key.public_key()], b"payload")
+        body = bytearray(ct.body)
+        body[-1] ^= 0x01
+        tampered = hybrid.HybridCiphertext(ct.wrapped_keys, bytes(body))
+        with pytest.raises(IntegrityError):
+            hybrid.decrypt(key, tampered)
+
+    def test_size_accounting(self, key):
+        ct = hybrid.encrypt([key.public_key()], b"x" * 100)
+        assert ct.size_bytes() >= 100 + hybrid.wrapped_key_size(key.public_key())
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, key, payload):
+        ct = hybrid.encrypt([key.public_key()], payload)
+        assert hybrid.decrypt(key, ct) == payload
+
+    def test_fingerprint_stability(self, key):
+        assert hybrid.key_fingerprint(key.public_key()) == hybrid.key_fingerprint(
+            key.public_key()
+        )
+
+    def test_fingerprint_distinct_keys(self, key, second_key):
+        assert hybrid.key_fingerprint(key.public_key()) != hybrid.key_fingerprint(
+            second_key.public_key()
+        )
+
+
+class TestSessionLayer:
+    def test_session_round_trip(self):
+        session_key = bytes(range(32))
+        ct = hybrid.session_encrypt(session_key, b"side-table entry")
+        assert hybrid.session_decrypt(session_key, ct) == b"side-table entry"
+
+    def test_session_wrong_key(self):
+        ct = hybrid.session_encrypt(bytes(32), b"entry")
+        with pytest.raises(IntegrityError):
+            hybrid.session_decrypt(bytes(range(32)), ct)

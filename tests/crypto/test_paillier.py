@@ -1,0 +1,117 @@
+"""Tests for the Paillier cryptosystem and its homomorphic laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import paillier
+from repro.errors import DecryptionError, EncryptionError, KeyError_, ParameterError
+
+
+@pytest.fixture(scope="module")
+def key():
+    return paillier.generate_keypair(256)
+
+
+@pytest.fixture(scope="module")
+def pk(key):
+    return key.public_key
+
+
+class TestBasics:
+    def test_round_trip(self, key, pk):
+        for m in [0, 1, 42, pk.n - 1]:
+            assert paillier.decrypt(key, paillier.encrypt(pk, m)) == m
+
+    def test_out_of_range_plaintexts(self, pk):
+        with pytest.raises(EncryptionError):
+            paillier.encrypt(pk, -1)
+        with pytest.raises(EncryptionError):
+            paillier.encrypt(pk, pk.n)
+
+    def test_probabilistic(self, pk):
+        assert paillier.encrypt(pk, 7).value != paillier.encrypt(pk, 7).value
+
+    def test_explicit_randomness_deterministic(self, key, pk):
+        c1 = paillier.encrypt(pk, 7, randomness=12345)
+        c2 = paillier.encrypt(pk, 7, randomness=12345)
+        assert c1.value == c2.value
+        assert paillier.decrypt(key, c1) == 7
+
+    def test_bad_randomness_rejected(self, pk):
+        with pytest.raises(EncryptionError):
+            paillier.encrypt(pk, 7, randomness=0)
+
+    def test_keygen_too_small(self):
+        with pytest.raises(ParameterError):
+            paillier.generate_keypair(32)
+
+    def test_decrypt_wrong_key(self, key, pk):
+        other = paillier.generate_keypair(256)
+        ct = paillier.encrypt(other.public_key, 5)
+        with pytest.raises(KeyError_):
+            paillier.decrypt(key, ct)
+
+    def test_decrypt_invalid_ciphertext(self, key, pk):
+        bogus = paillier.PaillierCiphertext(0, pk)
+        with pytest.raises(DecryptionError):
+            paillier.decrypt(key, bogus)
+
+
+class TestHomomorphicLaws:
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=25, deadline=None)
+    def test_additive_homomorphism(self, key, pk, a, b):
+        total = paillier.add(paillier.encrypt(pk, a), paillier.encrypt(pk, b))
+        assert paillier.decrypt(key, total) == (a + b) % pk.n
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_scalar_multiplication(self, key, pk, m, gamma):
+        ct = paillier.scalar_multiply(paillier.encrypt(pk, m), gamma)
+        assert paillier.decrypt(key, ct) == m * gamma % pk.n
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_add_plain(self, key, pk, m, addend):
+        ct = paillier.add_plain(paillier.encrypt(pk, m), addend)
+        assert paillier.decrypt(key, ct) == (m + addend) % pk.n
+
+    def test_addition_wraps_modulo_n(self, key, pk):
+        ct = paillier.add(
+            paillier.encrypt(pk, pk.n - 1), paillier.encrypt(pk, 2)
+        )
+        assert paillier.decrypt(key, ct) == 1
+
+    def test_negate(self, key, pk):
+        ct = paillier.negate(paillier.encrypt(pk, 5))
+        assert paillier.decrypt(key, ct) == pk.n - 5
+
+    def test_operator_sugar(self, key, pk):
+        total = paillier.encrypt(pk, 20) + paillier.encrypt(pk, 22)
+        assert paillier.decrypt(key, total) == 42
+        assert paillier.decrypt(key, 2 * paillier.encrypt(pk, 21)) == 42
+
+    def test_mixing_keys_rejected(self, pk):
+        other = paillier.generate_keypair(256).public_key
+        with pytest.raises(KeyError_):
+            paillier.add(paillier.encrypt(pk, 1), paillier.encrypt(other, 1))
+
+    def test_encrypt_zero_is_identity(self, key, pk):
+        ct = paillier.add(paillier.encrypt(pk, 37), paillier.encrypt_zero(pk))
+        assert paillier.decrypt(key, ct) == 37
+
+
+class TestRerandomization:
+    def test_preserves_plaintext_changes_ciphertext(self, key, pk):
+        original = paillier.encrypt(pk, 99)
+        refreshed = paillier.rerandomize(original)
+        assert refreshed.value != original.value
+        assert paillier.decrypt(key, refreshed) == 99
+
+    def test_unlinkable_values(self, pk):
+        base = paillier.encrypt(pk, 1)
+        seen = {paillier.rerandomize(base).value for _ in range(10)}
+        assert len(seen) == 10

@@ -1,0 +1,105 @@
+"""Tests for RSA-OAEP encryption and RSA-PSS signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import rsa
+from repro.errors import DecryptionError, EncryptionError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def key(rsa_key):
+    return rsa_key
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, key):
+        assert key.n.bit_length() == 1024
+        assert key.n == key.p * key.q
+
+    def test_d_is_inverse(self, key):
+        phi = (key.p - 1) * (key.q - 1)
+        assert key.e * key.d % phi == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            rsa.generate_keypair(256)
+
+
+class TestOAEP:
+    def test_round_trip(self, key):
+        ct = rsa.oaep_encrypt(key.public_key(), b"secret message")
+        assert rsa.oaep_decrypt(key, ct) == b"secret message"
+
+    def test_empty_message(self, key):
+        ct = rsa.oaep_encrypt(key.public_key(), b"")
+        assert rsa.oaep_decrypt(key, ct) == b""
+
+    def test_max_length_message(self, key):
+        public = key.public_key()
+        message = b"m" * public.max_message_bytes()
+        assert rsa.oaep_decrypt(key, rsa.oaep_encrypt(public, message)) == message
+
+    def test_oversized_message_rejected(self, key):
+        public = key.public_key()
+        with pytest.raises(EncryptionError):
+            rsa.oaep_encrypt(public, b"m" * (public.max_message_bytes() + 1))
+
+    def test_randomized(self, key):
+        public = key.public_key()
+        assert rsa.oaep_encrypt(public, b"x") != rsa.oaep_encrypt(public, b"x")
+
+    def test_tampered_ciphertext_rejected(self, key):
+        ct = bytearray(rsa.oaep_encrypt(key.public_key(), b"data"))
+        ct[len(ct) // 2] ^= 0x01
+        with pytest.raises(DecryptionError):
+            rsa.oaep_decrypt(key, bytes(ct))
+
+    def test_wrong_length_rejected(self, key):
+        with pytest.raises(DecryptionError):
+            rsa.oaep_decrypt(key, b"\x00" * 17)
+
+    def test_out_of_range_rejected(self, key):
+        blob = (key.n + 1).to_bytes(key.public_key().modulus_bytes, "big")
+        with pytest.raises(DecryptionError):
+            rsa.oaep_decrypt(key, blob)
+
+    @given(st.binary(max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, key, message):
+        ct = rsa.oaep_encrypt(key.public_key(), message)
+        assert rsa.oaep_decrypt(key, ct) == message
+
+
+class TestPSS:
+    def test_sign_verify(self, key):
+        signature = rsa.pss_sign(key, b"document")
+        assert rsa.pss_verify(key.public_key(), b"document", signature)
+
+    def test_wrong_message_fails(self, key):
+        signature = rsa.pss_sign(key, b"document")
+        assert not rsa.pss_verify(key.public_key(), b"other", signature)
+
+    def test_tampered_signature_fails(self, key):
+        signature = bytearray(rsa.pss_sign(key, b"document"))
+        signature[5] ^= 0xFF
+        assert not rsa.pss_verify(key.public_key(), b"document", bytes(signature))
+
+    def test_wrong_key_fails(self, key):
+        other = rsa.generate_keypair(1024)
+        signature = rsa.pss_sign(other, b"document")
+        assert not rsa.pss_verify(key.public_key(), b"document", signature)
+
+    def test_signatures_randomized_but_both_valid(self, key):
+        s1 = rsa.pss_sign(key, b"m")
+        s2 = rsa.pss_sign(key, b"m")
+        assert s1 != s2
+        assert rsa.pss_verify(key.public_key(), b"m", s1)
+        assert rsa.pss_verify(key.public_key(), b"m", s2)
+
+    def test_wrong_length_signature(self, key):
+        assert not rsa.pss_verify(key.public_key(), b"m", b"short")
+
+    def test_verify_never_raises_on_garbage(self, key):
+        garbage = b"\xff" * key.public_key().modulus_bytes
+        assert rsa.pss_verify(key.public_key(), b"m", garbage) in (True, False)

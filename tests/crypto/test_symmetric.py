@@ -1,0 +1,111 @@
+"""Tests for the ChaCha20 + HMAC authenticated encryption."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import symmetric
+from repro.errors import DecryptionError, IntegrityError, ParameterError
+
+# RFC 7539 section 2.3.2 test vector.
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+RFC_BLOCK_1 = bytes.fromhex(
+    "10f1e7e4d13b5915500fdd1fa32071c4"
+    "c7d1f4c733c068030422aa9ac3d46c4e"
+    "d2826446079faa0914c2d705d98b02a2"
+    "b5129cd1de164eb9cbd083e8a2503c4e"
+)
+
+# RFC 7539 section 2.4.2 encryption test vector.
+RFC_PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+RFC_ENC_NONCE = bytes.fromhex("000000000000004a00000000")
+RFC_CIPHERTEXT = bytes.fromhex(
+    "6e2e359a2568f98041ba0728dd0d6981"
+    "e97e7aec1d4360c20a27afccfd9fae0b"
+    "f91b65c5524733ab8f593dabcd62b357"
+    "1639d624e65152ab8f530c359f0861d8"
+    "07ca0dbf500d6a6156a38e088a22b65e"
+    "52bc514d16ccf806818ce91ab7793736"
+    "5af90bbf74a35be6b40b8eedf2785e42"
+    "874d"
+)
+
+
+class TestChaCha20Core:
+    def test_rfc7539_block(self):
+        assert symmetric.chacha20_block(RFC_KEY, 1, RFC_NONCE) == RFC_BLOCK_1
+
+    def test_rfc7539_encryption(self):
+        out = symmetric.chacha20_xor(RFC_KEY, RFC_ENC_NONCE, RFC_PLAINTEXT, counter=1)
+        assert out == RFC_CIPHERTEXT
+
+    def test_xor_is_involution(self):
+        data = b"attack at dawn" * 10
+        nonce = bytes(12)
+        once = symmetric.chacha20_xor(RFC_KEY, nonce, data)
+        assert symmetric.chacha20_xor(RFC_KEY, nonce, once) == data
+
+    def test_bad_key_length(self):
+        with pytest.raises(ParameterError):
+            symmetric.chacha20_block(b"short", 0, bytes(12))
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ParameterError):
+            symmetric.chacha20_block(RFC_KEY, 0, bytes(8))
+
+
+class TestAuthenticatedEncryption:
+    def test_round_trip(self):
+        key = symmetric.generate_key()
+        ct = symmetric.encrypt(key, b"hello world")
+        assert symmetric.decrypt(key, ct) == b"hello world"
+
+    def test_empty_plaintext(self):
+        key = symmetric.generate_key()
+        assert symmetric.decrypt(key, symmetric.encrypt(key, b"")) == b""
+
+    @given(st.binary(max_size=2048))
+    def test_round_trip_property(self, plaintext):
+        key = bytes(range(32))
+        assert symmetric.decrypt(key, symmetric.encrypt(key, plaintext)) == plaintext
+
+    def test_associated_data_binding(self):
+        key = symmetric.generate_key()
+        ct = symmetric.encrypt(key, b"payload", b"header-1")
+        assert symmetric.decrypt(key, ct, b"header-1") == b"payload"
+        with pytest.raises(IntegrityError):
+            symmetric.decrypt(key, ct, b"header-2")
+
+    def test_tamper_detection_every_byte_region(self):
+        key = symmetric.generate_key()
+        ct = bytearray(symmetric.encrypt(key, b"sensitive data"))
+        for position in (0, symmetric.NONCE_BYTES, len(ct) - 1):
+            mutated = bytearray(ct)
+            mutated[position] ^= 0x01
+            with pytest.raises(IntegrityError):
+                symmetric.decrypt(key, bytes(mutated))
+
+    def test_wrong_key_rejected(self):
+        ct = symmetric.encrypt(symmetric.generate_key(), b"data")
+        with pytest.raises(IntegrityError):
+            symmetric.decrypt(symmetric.generate_key(), ct)
+
+    def test_truncated_ciphertext(self):
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(symmetric.generate_key(), b"tiny")
+
+    def test_nondeterministic_ciphertexts(self):
+        key = symmetric.generate_key()
+        assert symmetric.encrypt(key, b"x") != symmetric.encrypt(key, b"x")
+
+    def test_bad_key_size(self):
+        with pytest.raises(ParameterError):
+            symmetric.encrypt(b"short", b"x")
+
+    def test_overhead_constant(self):
+        key = symmetric.generate_key()
+        ct = symmetric.encrypt(key, b"y" * 100)
+        assert len(ct) - 100 == symmetric.ciphertext_overhead()

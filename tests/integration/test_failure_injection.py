@@ -1,0 +1,157 @@
+"""Failure injection: the protocols must fail closed, not fabricate data."""
+
+import pytest
+
+from repro import Federation, run_join_query, setup_client
+from repro.core.commutative import _prepare_source
+from repro.core.das import EncryptedTuple, ServerQuery, _evaluate_server_query
+from repro.crypto import groups, hybrid
+from repro.crypto.hashes import IdealHash
+from repro.crypto.homomorphic import PaillierScheme
+from repro.errors import (
+    AccessDenied,
+    CredentialError,
+    EncodingError,
+    IntegrityError,
+)
+from repro.mediation.access_control import allow_all, require
+from repro.mediation.credentials import Credential
+from repro.relational.datagen import WorkloadSpec, generate
+
+QUERY = "select * from R1 natural join R2"
+
+
+def build_federation(ca, client, workload, policy_1=None):
+    federation = Federation(ca=ca)
+    federation.add_source(
+        "S1", [(workload.relation_1, policy_1 or allow_all())]
+    )
+    federation.add_source("S2", [(workload.relation_2, allow_all())])
+    federation.attach_client(client)
+    return federation
+
+
+class TestAccessFailures:
+    @pytest.mark.parametrize(
+        "protocol", ["das", "commutative", "private-matching"]
+    )
+    def test_denied_before_any_ciphertext_flows(
+        self, ca, client, workload, protocol
+    ):
+        federation = build_federation(
+            ca, client, workload, policy_1=require(("role", "superuser"))
+        )
+        with pytest.raises(AccessDenied):
+            run_join_query(federation, QUERY, protocol=protocol)
+        # Nothing beyond the request phase ever hit the wire.
+        kinds = {m.kind for m in federation.network.transcript}
+        assert kinds == {"global_query", "partial_query"}
+
+    def test_forged_credential_rejected_by_source(self, ca, client, workload):
+        federation = build_federation(ca, client, workload)
+        genuine = client.credentials[0]
+        forged = Credential(
+            properties=frozenset({("role", "superuser")}),
+            public_key=genuine.public_key,
+            issuer=genuine.issuer,
+            signature=genuine.signature,  # signature of *other* properties
+        )
+        client.credentials.append(forged)
+        try:
+            with pytest.raises(CredentialError):
+                run_join_query(federation, QUERY, protocol="commutative")
+        finally:
+            client.credentials.remove(forged)
+
+
+class TestCiphertextTampering:
+    def test_tampered_etuple_detected_at_client(self, ca, client, workload):
+        # Simulate a malicious mediator flipping a byte inside an etuple:
+        # the hybrid layer's MAC must catch it at decryption time.
+        keys = client.credential_public_keys()
+        ciphertext = hybrid.encrypt(keys, b"row-bytes")
+        body = bytearray(ciphertext.body)
+        body[-1] ^= 0x01
+        tampered = hybrid.HybridCiphertext(ciphertext.wrapped_keys, bytes(body))
+        with pytest.raises(IntegrityError):
+            client.decrypt_hybrid(tampered)
+
+    def test_tampered_side_table_entry_detected(self, client):
+        session_key = bytes(range(32))
+        blob = bytearray(hybrid.session_encrypt(session_key, b"tuple set"))
+        blob[20] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            hybrid.session_decrypt(session_key, bytes(blob))
+
+
+class TestProtocolMisconfiguration:
+    def test_mismatched_ideal_hashes_match_nothing(self, client, workload):
+        """If the sources disagree on the random oracle, equal join
+        values hash differently and the mediator finds no matches —
+        a silent empty result, never a wrong one."""
+        group = groups.commutative_group(128)
+        keys = client.credential_public_keys()
+        from repro.core.commutative import CommutativeConfig
+
+        config = CommutativeConfig()
+        _, messages_1 = _prepare_source(
+            workload.relation_1, ("k",), group,
+            IdealHash(group.p, tag=b"oracle-A"), keys, config,
+        )
+        state_2, _ = _prepare_source(
+            workload.relation_2, ("k",), group,
+            IdealHash(group.p, tag=b"oracle-B"), keys, config,
+        )
+        from repro.crypto import commutative as comm
+
+        tags_1 = {comm.apply(state_2.key, m.tag) for m in messages_1}
+        # Double-encrypt relation_2's own values under both keys.
+        # With mismatched oracles, no tag can coincide.
+        _, messages_2 = _prepare_source(
+            workload.relation_2, ("k",), group,
+            IdealHash(group.p, tag=b"oracle-B"), keys, config,
+        )
+        tags_2 = {comm.apply(state_2.key, m.tag) for m in messages_2}
+        assert not (tags_1 & tags_2)
+
+    def test_pm_key_too_small_for_payload(self, ca, workload):
+        """A homomorphic message space too small for the session payload
+        must fail loudly with guidance, not truncate silently."""
+        tiny_client = setup_client(
+            ca,
+            "tiny",
+            {("role", "analyst")},
+            rsa_bits=1024,
+            homomorphic_scheme=PaillierScheme(256),
+        )
+        federation = Federation(ca=ca)
+        federation.add_source("S1", [(workload.relation_1, allow_all())])
+        federation.add_source("S2", [(workload.relation_2, allow_all())])
+        federation.attach_client(tiny_client)
+        with pytest.raises(EncodingError):
+            run_join_query(federation, QUERY, protocol="private-matching")
+
+
+class TestDASServerQueryRobustness:
+    def test_unknown_index_pairs_select_nothing(self, client, workload):
+        keys = client.credential_public_keys()
+        from repro.core.das import EncryptedRelation
+        from repro.relational.encoding import encode_row
+
+        rows = tuple(
+            EncryptedTuple(hybrid.encrypt(keys, encode_row(row)), index_value=7)
+            for row in workload.relation_1
+        )
+        relation = EncryptedRelation("S1", "R1", rows)
+        empty = _evaluate_server_query(
+            ServerQuery(pairs=((1, 2),)), relation, relation
+        )
+        assert len(empty) == 0
+
+    def test_empty_server_query(self, client, workload):
+        from repro.core.das import EncryptedRelation
+
+        relation = EncryptedRelation("S1", "R1", ())
+        assert len(
+            _evaluate_server_query(ServerQuery(pairs=()), relation, relation)
+        ) == 0

@@ -1,0 +1,75 @@
+"""Tests for the client party and the preparatory phase."""
+
+import pytest
+
+from repro import setup_client
+from repro.crypto import hybrid
+from repro.crypto.homomorphic import PaillierScheme
+from repro.errors import CredentialError, DecryptionError
+from repro.mediation.ca import verify_credential, verify_identity_certificate
+
+
+class TestSetup:
+    def test_single_key_client(self, ca):
+        client = setup_client(ca, "alice", {("role", "x")}, rsa_bits=1024)
+        assert len(client.credentials) == 1
+        assert len(client.rsa_keys) == 1
+        assert len(client.identity_certificates) == 1
+
+    def test_multi_key_client(self, ca):
+        client = setup_client(
+            ca, "bob", {("role", "x")}, key_count=3, rsa_bits=1024
+        )
+        assert len(client.credentials) == 3
+        assert len({c.fingerprint() for c in client.credentials}) == 3
+        assert len(client.credential_public_keys()) == 3
+
+    def test_credentials_verify(self, ca):
+        client = setup_client(ca, "carol", {("role", "y")}, rsa_bits=1024)
+        assert verify_credential(client.credentials[0], ca.verification_key)
+        assert verify_identity_certificate(
+            client.identity_certificates[0], ca.verification_key
+        )
+
+    def test_identity_only_in_certificate(self, ca):
+        client = setup_client(ca, "dave", {("role", "z")}, rsa_bits=1024)
+        assert client.identity_certificates[0].identity == "dave"
+        # The credential itself carries only properties.
+        assert ("role", "z") in client.credentials[0].properties
+
+
+class TestHybridDecryption:
+    def test_decrypts_with_matching_key(self, client):
+        keys = client.credential_public_keys()
+        ciphertext = hybrid.encrypt(keys, b"partial result")
+        assert client.decrypt_hybrid(ciphertext) == b"partial result"
+
+    def test_rejects_foreign_ciphertext(self, ca, client):
+        stranger = setup_client(ca, "eve", {("role", "e")}, rsa_bits=1024)
+        ciphertext = hybrid.encrypt(
+            stranger.credential_public_keys(), b"not for you"
+        )
+        with pytest.raises(DecryptionError):
+            client.decrypt_hybrid(ciphertext)
+
+
+class TestHomomorphicKeyMaterial:
+    def test_present_when_configured(self, client):
+        public_key = client.homomorphic_public_key
+        ct = client.homomorphic_scheme.encrypt(public_key, 42)
+        assert client.decrypt_homomorphic(ct) == 42
+
+    def test_absent_raises(self, ca):
+        bare = setup_client(ca, "frank", {("role", "f")}, rsa_bits=1024)
+        with pytest.raises(CredentialError):
+            _ = bare.homomorphic_public_key
+        with pytest.raises(CredentialError):
+            bare.decrypt_homomorphic(None)
+
+    def test_scheme_is_client_specific(self, ca):
+        scheme = PaillierScheme(256)
+        client = setup_client(
+            ca, "grace", {("role", "g")}, rsa_bits=1024,
+            homomorphic_scheme=scheme,
+        )
+        assert client.homomorphic_scheme is scheme

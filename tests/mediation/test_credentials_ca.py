@@ -1,0 +1,116 @@
+"""Tests for credentials and the certification authority."""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.errors import CredentialError
+from repro.mediation.ca import (
+    CertificationAuthority,
+    verify_credential,
+    verify_identity_certificate,
+)
+from repro.mediation.credentials import (
+    Credential,
+    properties_of,
+    public_keys_of,
+)
+
+
+@pytest.fixture(scope="module")
+def client_key(rsa_key):
+    return rsa_key.public_key()
+
+
+@pytest.fixture(scope="module")
+def credential(ca, client_key):
+    return ca.issue_credential({("role", "physician")}, client_key)
+
+
+class TestIssuance:
+    def test_credential_verifies(self, ca, credential):
+        assert verify_credential(credential, ca.verification_key)
+
+    def test_empty_properties_rejected(self, ca, client_key):
+        with pytest.raises(CredentialError):
+            ca.issue_credential(set(), client_key)
+
+    def test_identity_certificate_verifies(self, ca, client_key):
+        certificate = ca.issue_identity_certificate("alice", client_key)
+        assert verify_identity_certificate(certificate, ca.verification_key)
+        assert certificate.identity == "alice"
+
+    def test_credential_carries_no_identity(self, credential):
+        # The paper: credentials link properties to keys but "in general
+        # do not contain details on [the client's] identity".
+        assert not hasattr(credential, "identity")
+
+
+class TestVerificationFailures:
+    def test_tampered_properties_rejected(self, ca, credential, client_key):
+        forged = Credential(
+            properties=frozenset({("role", "admin")}),
+            public_key=credential.public_key,
+            issuer=credential.issuer,
+            signature=credential.signature,
+        )
+        assert not verify_credential(forged, ca.verification_key)
+
+    def test_swapped_key_rejected(self, ca, credential):
+        other_key = rsa.generate_keypair(1024).public_key()
+        forged = Credential(
+            properties=credential.properties,
+            public_key=other_key,
+            issuer=credential.issuer,
+            signature=credential.signature,
+        )
+        assert not verify_credential(forged, ca.verification_key)
+
+    def test_wrong_ca_rejected(self, credential):
+        impostor = CertificationAuthority(name="evil-ca", key_bits=1024)
+        assert not verify_credential(credential, impostor.verification_key)
+
+    def test_tampered_signature_rejected(self, ca, credential):
+        broken = Credential(
+            properties=credential.properties,
+            public_key=credential.public_key,
+            issuer=credential.issuer,
+            signature=bytes(len(credential.signature)),
+        )
+        assert not verify_credential(broken, ca.verification_key)
+
+
+class TestCredentialHelpers:
+    def test_property_access(self, credential):
+        assert credential.has_property("role", "physician")
+        assert not credential.has_property("role", "admin")
+        assert credential.property_value("role") == "physician"
+        assert credential.property_value("missing") is None
+
+    def test_properties_of_union(self, ca, client_key):
+        c1 = ca.issue_credential({("role", "a")}, client_key)
+        c2 = ca.issue_credential({("role", "b"), ("org", "x")}, client_key)
+        assert properties_of([c1, c2]) == frozenset(
+            {("role", "a"), ("role", "b"), ("org", "x")}
+        )
+
+    def test_public_keys_deduplicated(self, ca, client_key):
+        c1 = ca.issue_credential({("role", "a")}, client_key)
+        c2 = ca.issue_credential({("role", "b")}, client_key)
+        assert len(public_keys_of([c1, c2])) == 1
+
+    def test_public_keys_empty_rejected(self):
+        with pytest.raises(CredentialError):
+            public_keys_of([])
+
+    def test_fingerprint_stable(self, credential):
+        assert credential.fingerprint() == credential.fingerprint()
+
+    def test_payload_canonical_property_order(self, ca, client_key):
+        c1 = ca.issue_credential({("a", "1"), ("b", "2")}, client_key)
+        c2_payload = Credential(
+            properties=frozenset({("b", "2"), ("a", "1")}),
+            public_key=client_key,
+            issuer=ca.name,
+            signature=b"",
+        ).signed_payload()
+        assert c1.signed_payload() == c2_payload

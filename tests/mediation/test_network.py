@@ -1,0 +1,123 @@
+"""Tests for the message bus and transcript accounting."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.mediation.network import ENVELOPE_BYTES, Network
+
+
+@pytest.fixture
+def network():
+    net = Network()
+    for party in ("client", "mediator", "S1", "S2"):
+        net.register(party)
+    return net
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, network):
+        with pytest.raises(NetworkError):
+            network.register("client")
+
+    def test_parties(self, network):
+        assert set(network.parties()) == {"client", "mediator", "S1", "S2"}
+
+    def test_unknown_view(self, network):
+        with pytest.raises(NetworkError):
+            network.view("nobody")
+
+
+class TestSend:
+    def test_basic_delivery(self, network):
+        message = network.send("client", "mediator", "query", b"payload")
+        assert message.sequence == 1
+        assert message.size_bytes == ENVELOPE_BYTES + 7
+
+    def test_unknown_endpoints(self, network):
+        with pytest.raises(NetworkError):
+            network.send("ghost", "mediator", "x", None)
+        with pytest.raises(NetworkError):
+            network.send("client", "ghost", "x", None)
+
+    def test_views_updated(self, network):
+        network.send("client", "mediator", "query", b"q")
+        assert len(network.view("client").sent) == 1
+        assert len(network.view("mediator").received) == 1
+        assert network.view("mediator").received_kinds() == ["query"]
+
+    def test_sequence_monotonic(self, network):
+        first = network.send("client", "mediator", "a", None)
+        second = network.send("mediator", "S1", "b", None)
+        assert second.sequence == first.sequence + 1
+
+
+class TestTranscriptQueries:
+    @pytest.fixture
+    def loaded(self, network):
+        network.send("client", "mediator", "query", b"12345")
+        network.send("mediator", "S1", "partial", b"123")
+        network.send("mediator", "S2", "partial", b"123")
+        network.send("S1", "mediator", "result", b"1234567890")
+        network.send("mediator", "client", "answer", b"12")
+        return network
+
+    def test_messages_from(self, loaded):
+        assert len(loaded.messages_from("mediator")) == 3
+        assert len(loaded.messages_from("mediator", "S1")) == 1
+
+    def test_messages_of_kind(self, loaded):
+        assert len(loaded.messages_of_kind("partial")) == 2
+
+    def test_total_bytes(self, loaded):
+        payload_bytes = 5 + 3 + 3 + 10 + 2
+        assert loaded.total_bytes() == payload_bytes + 5 * ENVELOPE_BYTES
+
+    def test_bytes_between_undirected(self, loaded):
+        link = loaded.bytes_between("client", "mediator")
+        assert link == loaded.bytes_between("mediator", "client")
+        assert link == 5 + 2 + 2 * ENVELOPE_BYTES
+
+    def test_edges(self, loaded):
+        assert loaded.edges() == {
+            ("client", "mediator"),
+            ("S1", "mediator"),
+            ("S2", "mediator"),
+        }
+
+    def test_flow_summary(self, loaded):
+        summary = loaded.flow_summary()
+        assert len(summary) == 5
+        assert "client -> mediator" in summary[0]
+
+
+class TestInteractionCounting:
+    def test_single_round_trip_is_one_interaction(self, network):
+        network.send("client", "mediator", "q", None)
+        network.send("mediator", "client", "a", None)
+        assert network.interaction_count("client", "mediator") == 1
+        assert network.interaction_count("mediator", "client") == 1
+
+    def test_das_shape_client_interacts_twice(self, network):
+        # query -> tables -> server query -> result: two client-initiated
+        # interactions, the paper's "client has to interact twice".
+        network.send("client", "mediator", "global_query", None)
+        network.send("mediator", "client", "index_tables", None)
+        network.send("client", "mediator", "server_query", None)
+        network.send("mediator", "client", "server_result", None)
+        assert network.interaction_count("client", "mediator") == 2
+
+    def test_consecutive_sends_one_interaction(self, network):
+        network.send("S1", "mediator", "part-1", None)
+        network.send("S1", "mediator", "part-2", None)
+        assert network.interaction_count("S1", "mediator") == 1
+
+    def test_other_links_ignored(self, network):
+        network.send("client", "mediator", "q", None)
+        network.send("mediator", "S1", "p", None)
+        network.send("S1", "mediator", "r", None)
+        network.send("client", "mediator", "q2", None)
+        # The S1 detour does not split the client's run of messages
+        # on the client<->mediator link... but q2 comes after a mediator
+        # send on a different link, so the client link sequence is
+        # [client q, client q2] -> still one interaction.
+        assert network.interaction_count("client", "mediator") == 1

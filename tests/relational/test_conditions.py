@@ -1,0 +1,121 @@
+"""Tests for the condition AST."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.conditions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    FalseCondition,
+    Not,
+    Or,
+    TrueCondition,
+    conjunction,
+    disjunction,
+)
+
+ROW = {"k": 5, "name": "ada", "other_k": 5}
+
+
+def resolve(attribute):
+    return ROW[attribute]
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 5, True),
+            ("=", 6, False),
+            ("!=", 6, True),
+            ("<", 6, True),
+            ("<=", 5, True),
+            (">", 4, True),
+            (">=", 6, False),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        assert Comparison("k", op, value).evaluate(resolve) is expected
+
+    def test_string_comparison(self):
+        assert Comparison("name", "=", "ada").evaluate(resolve)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison("k", "~", 5)
+
+    def test_attributes(self):
+        assert Comparison("k", "=", 5).attributes() == frozenset({"k"})
+
+
+class TestAttributeComparison:
+    def test_equality(self):
+        assert AttributeComparison("k", "=", "other_k").evaluate(resolve)
+
+    def test_inequality(self):
+        assert not AttributeComparison("k", "!=", "other_k").evaluate(resolve)
+
+    def test_attributes(self):
+        cond = AttributeComparison("a", "=", "b")
+        assert cond.attributes() == frozenset({"a", "b"})
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            AttributeComparison("a", "?", "b")
+
+
+class TestCombinators:
+    def test_and(self):
+        cond = Comparison("k", "=", 5) & Comparison("name", "=", "ada")
+        assert cond.evaluate(resolve)
+
+    def test_and_short(self):
+        cond = Comparison("k", "=", 5) & Comparison("name", "=", "x")
+        assert not cond.evaluate(resolve)
+
+    def test_or(self):
+        cond = Comparison("k", "=", 99) | Comparison("name", "=", "ada")
+        assert cond.evaluate(resolve)
+
+    def test_not(self):
+        assert (~Comparison("k", "=", 99)).evaluate(resolve)
+
+    def test_nested_attributes(self):
+        cond = (Comparison("k", "=", 1) | Comparison("name", "=", "x")) & Not(
+            Comparison("other_k", ">", 0)
+        )
+        assert cond.attributes() == frozenset({"k", "name", "other_k"})
+
+
+class TestIdentities:
+    def test_true_false(self):
+        assert TrueCondition().evaluate(resolve)
+        assert not FalseCondition().evaluate(resolve)
+
+    def test_empty_conjunction_is_true(self):
+        assert isinstance(conjunction([]), TrueCondition)
+
+    def test_empty_disjunction_is_false(self):
+        # Cond_S with no overlapping partitions selects nothing.
+        assert isinstance(disjunction([]), FalseCondition)
+
+    def test_singleton_collapses(self):
+        leaf = Comparison("k", "=", 5)
+        assert conjunction([leaf]) is leaf
+        assert disjunction([leaf]) is leaf
+
+    def test_multi_builds_nodes(self):
+        leaves = [Comparison("k", "=", 5), Comparison("k", "=", 6)]
+        assert isinstance(conjunction(leaves), And)
+        assert isinstance(disjunction(leaves), Or)
+
+
+class TestRendering:
+    def test_str_forms(self):
+        cond = (Comparison("k", "=", 5) & AttributeComparison("a", "=", "b")) | Not(
+            FalseCondition()
+        )
+        text = str(cond)
+        assert "AND" in text and "OR" in text and "NOT" in text
+        assert "k = 5" in text

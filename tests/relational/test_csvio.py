@@ -1,0 +1,91 @@
+"""Tests for CSV import/export of relations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import csvio
+from repro.relational.relation import Relation
+from repro.relational.schema import AttributeType, schema
+
+S = schema("R", patient="string", age="int", insured="bool")
+R = Relation(
+    S,
+    [
+        ("ada", 36, True),
+        ("grace", 85, False),
+        ("a,b", 1, True),  # embedded comma exercises quoting
+    ],
+)
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        restored = csvio.loads("R", csvio.dumps(R))
+        assert restored == R
+        assert restored.schema == R.schema
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "r.csv"
+        csvio.dump(R, path)
+        assert csvio.load("R", path) == R
+
+    def test_typed_header_written(self):
+        text = csvio.dumps(R)
+        assert text.splitlines()[0] == "patient:string,age:int,insured:bool"
+
+    def test_empty_relation(self):
+        empty = Relation(S, [])
+        assert csvio.loads("R", csvio.dumps(empty)) == empty
+
+
+class TestTypedParsing:
+    def test_explicit_types(self):
+        relation = csvio.loads("T", "name:string,n:int\n007,42\n")
+        assert relation.rows == (("007", 42),)
+        assert relation.schema.attribute("name").type is AttributeType.STRING
+
+    def test_bool_parsing(self):
+        relation = csvio.loads("T", "flag:bool\nTRUE\nfalse\n")
+        assert set(relation.rows) == {(True,), (False,)}
+
+    def test_bad_int(self):
+        with pytest.raises(SchemaError):
+            csvio.loads("T", "n:int\nnope\n")
+
+    def test_bad_bool(self):
+        with pytest.raises(SchemaError):
+            csvio.loads("T", "b:bool\nmaybe\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            csvio.loads("T", "x:float\n1.5\n")
+
+
+class TestInference:
+    def test_int_column(self):
+        relation = csvio.loads("T", "a,b\n1,x\n2,y\n")
+        assert relation.schema.attribute("a").type is AttributeType.INT
+        assert relation.schema.attribute("b").type is AttributeType.STRING
+
+    def test_bool_column(self):
+        relation = csvio.loads("T", "f\ntrue\nfalse\n")
+        assert relation.schema.attribute("f").type is AttributeType.BOOL
+
+    def test_mixed_column_is_string(self):
+        relation = csvio.loads("T", "a\n1\nx\n")
+        assert relation.schema.attribute("a").type is AttributeType.STRING
+
+    def test_empty_body_defaults_string(self):
+        relation = csvio.loads("T", "a\n")
+        assert relation.schema.attribute("a").type is AttributeType.STRING
+        assert len(relation) == 0
+
+
+class TestErrors:
+    def test_no_header(self):
+        with pytest.raises(SchemaError):
+            csvio.loads("T", "")
+
+    def test_ragged_rows(self):
+        with pytest.raises(SchemaError):
+            csvio.loads("T", "a,b\n1\n")

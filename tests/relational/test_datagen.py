@@ -1,0 +1,106 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.relational.algebra import natural_join
+from repro.relational.datagen import (
+    WorkloadSpec,
+    generate,
+    medical_workload,
+    small_workload,
+)
+from repro.relational.schema import AttributeType
+
+
+class TestSpecValidation:
+    def test_overlap_bounded(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(domain_1=5, domain_2=5, overlap=6)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate(
+            WorkloadSpec(
+                domain_1=10,
+                domain_2=8,
+                overlap=4,
+                rows_per_value_1=2,
+                rows_per_value_2=3,
+                seed=5,
+            )
+        )
+
+    def test_domain_sizes(self, workload):
+        spec = workload.spec
+        assert len(workload.relation_1.active_domain(spec.join_attribute)) == 10
+        assert len(workload.relation_2.active_domain(spec.join_attribute)) == 8
+
+    def test_overlap_exact(self, workload):
+        spec = workload.spec
+        dom_1 = set(workload.relation_1.active_domain(spec.join_attribute))
+        dom_2 = set(workload.relation_2.active_domain(spec.join_attribute))
+        assert len(dom_1 & dom_2) == 4
+        assert set(workload.shared_values) == dom_1 & dom_2
+
+    def test_multiplicities(self, workload):
+        groups = workload.relation_1.group_by(workload.spec.join_attribute)
+        assert all(len(rows) == 2 for rows in groups.values())
+
+    def test_expected_join_size_matches_reference(self, workload):
+        joined = natural_join(workload.relation_1, workload.relation_2)
+        assert len(joined) == workload.expected_join_size
+        assert workload.expected_join_size == 4 * 2 * 3
+
+    def test_reproducible(self):
+        spec = WorkloadSpec(seed=123)
+        w1, w2 = generate(spec), generate(spec)
+        assert w1.relation_1 == w2.relation_1
+        assert w1.relation_2 == w2.relation_2
+
+    def test_seeds_differ(self):
+        assert generate(WorkloadSpec(seed=1)).relation_1 != (
+            generate(WorkloadSpec(seed=2)).relation_1
+        )
+
+    def test_string_domain(self):
+        workload = generate(
+            WorkloadSpec(join_type=AttributeType.STRING, overlap=3, seed=2)
+        )
+        values = workload.relation_1.active_domain("k")
+        assert all(isinstance(v, str) for v in values)
+
+    def test_skew_produces_varied_multiplicities(self):
+        workload = generate(
+            WorkloadSpec(
+                domain_1=10, domain_2=10, overlap=0,
+                rows_per_value_1=3, skew=1.5, seed=4,
+            )
+        )
+        sizes = {
+            len(rows)
+            for rows in workload.relation_1.group_by("k").values()
+        }
+        assert len(sizes) > 1  # not all equal: the Zipf decay bit
+
+    def test_zero_overlap_join_is_empty(self):
+        workload = generate(
+            WorkloadSpec(domain_1=5, domain_2=5, overlap=0, seed=8)
+        )
+        assert workload.expected_join_size == 0
+        assert len(natural_join(workload.relation_1, workload.relation_2)) == 0
+
+
+class TestPresets:
+    def test_small_workload(self):
+        workload = small_workload()
+        assert workload.expected_join_size > 0
+
+    def test_medical_workload_shape(self):
+        workload = medical_workload()
+        assert workload.spec.join_attribute == "patient"
+        assert workload.relation_1.name == "clinic"
+        assert workload.relation_2.name == "lab"
+        assert workload.expected_join_size > 0

@@ -1,0 +1,149 @@
+"""Tests for canonical byte and integer encodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError
+from repro.relational import encoding
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+S = schema("R", k="int", name="string", flag="bool")
+
+value_strategy = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=30),
+    st.booleans(),
+)
+
+
+class TestValueEncoding:
+    def test_type_disambiguation(self):
+        # 1 (int), "1" (string) and True (bool) must encode differently.
+        encodings = {
+            encoding.encode_value(1),
+            encoding.encode_value("1"),
+            encoding.encode_value(True),
+        }
+        assert len(encodings) == 3
+
+    @given(value_strategy)
+    def test_deterministic(self, value):
+        assert encoding.encode_value(value) == encoding.encode_value(value)
+
+    def test_unsupported(self):
+        with pytest.raises(EncodingError):
+            encoding.encode_value(3.5)
+
+
+class TestRowEncoding:
+    ROW = (42, "ada lovelace", True)
+
+    def test_round_trip(self):
+        assert encoding.decode_row(encoding.encode_row(self.ROW), S) == self.ROW
+
+    @given(
+        st.tuples(
+            st.integers(min_value=-(10**6), max_value=10**6),
+            st.text(max_size=50),
+            st.booleans(),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, row):
+        assert encoding.decode_row(encoding.encode_row(row), S) == row
+
+    def test_truncated_rejected(self):
+        data = encoding.encode_row(self.ROW)
+        with pytest.raises(EncodingError):
+            encoding.decode_row(data[:-1], S)
+
+    def test_trailing_bytes_rejected(self):
+        data = encoding.encode_row(self.ROW) + b"x"
+        with pytest.raises(EncodingError):
+            encoding.decode_row(data, S)
+
+    def test_type_mismatch_rejected(self):
+        # Encode under a different column order, decode under S.
+        data = encoding.encode_row(("ada", 42, True))
+        with pytest.raises(EncodingError):
+            encoding.decode_row(data, S)
+
+    def test_injective_on_sample(self):
+        rows = [(i, f"s{i}", i % 2 == 0) for i in range(100)]
+        encoded = {encoding.encode_row(row) for row in rows}
+        assert len(encoded) == 100
+
+
+class TestRowsEncoding:
+    def test_round_trip(self):
+        rows = ((1, "a", True), (2, "b", False))
+        assert encoding.decode_rows(encoding.encode_rows(rows), S) == rows
+
+    def test_empty(self):
+        assert encoding.decode_rows(encoding.encode_rows(()), S) == ()
+
+    def test_truncated(self):
+        data = encoding.encode_rows(((1, "a", True),))
+        with pytest.raises(EncodingError):
+            encoding.decode_rows(data[:-2], S)
+
+    def test_too_short(self):
+        with pytest.raises(EncodingError):
+            encoding.decode_rows(b"\x00", S)
+
+
+class TestRelationEncoding:
+    def test_round_trip(self):
+        r = Relation(S, [(1, "a", True), (2, "b", False)])
+        restored = encoding.decode_relation(encoding.encode_relation(r))
+        assert restored == r
+        assert restored.schema == r.schema
+
+    def test_empty_relation(self):
+        r = Relation(S, [])
+        assert encoding.decode_relation(encoding.encode_relation(r)) == r
+
+    def test_truncated(self):
+        with pytest.raises(EncodingError):
+            encoding.decode_relation(b"\x00\x00")
+
+
+class TestIntEncoding:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 255, 10**12, "", "a", "héllo wörld", True, False]
+    )
+    def test_round_trip(self, value):
+        assert encoding.int_to_value(encoding.value_to_int(value)) == value
+
+    @given(value_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, value):
+        if isinstance(value, int) and not isinstance(value, bool) and value < 0:
+            with pytest.raises(EncodingError):
+                encoding.value_to_int(value)
+            return
+        if isinstance(value, str) and len(value.encode("utf-8")) > 64:
+            # max_size=30 characters can exceed the 64-*byte* bound in
+            # UTF-8; the encoder must refuse rather than truncate.
+            with pytest.raises(EncodingError):
+                encoding.value_to_int(value)
+            return
+        assert encoding.int_to_value(encoding.value_to_int(value)) == value
+
+    def test_injective_across_types(self):
+        values = [0, 1, "0", "1", True, False, "", 256]
+        encoded = {encoding.value_to_int(v) for v in values}
+        assert len(encoded) == len(values)
+
+    def test_size_bound(self):
+        with pytest.raises(EncodingError):
+            encoding.value_to_int("x" * 100, max_bytes=10)
+
+    def test_unknown_tag(self):
+        with pytest.raises(EncodingError):
+            encoding.int_to_value(0xFF)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encoding.int_to_value(-1)

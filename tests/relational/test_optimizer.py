@@ -1,0 +1,153 @@
+"""Tests for the selection push-down optimizer."""
+
+import pytest
+
+from repro.relational import algebra, sql
+from repro.relational.optimizer import push_down_selections
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+S1 = schema("R1", k="int", a="string")
+S2 = schema("R2", k="int", b="string")
+SCHEMAS = {"R1": S1, "R2": S2}
+ENV = {
+    "R1": Relation(S1, [(1, "x"), (2, "y"), (3, "z")]),
+    "R2": Relation(S2, [(1, "p"), (2, "q"), (3, "p")]),
+}
+
+
+def optimize(query):
+    return push_down_selections(sql.parse(query), SCHEMAS)
+
+
+def leaves_of(tree):
+    return {leaf.relation_name: leaf for leaf in tree.leaves()}
+
+
+class TestPushing:
+    def test_left_only_condition(self):
+        tree = optimize("select * from R1 natural join R2 where a = 'x'")
+        leaves = leaves_of(tree)
+        assert leaves["R1"].condition is not None
+        assert leaves["R2"].condition is None
+        assert isinstance(tree, algebra.Join)  # the Select disappeared
+
+    def test_right_only_condition(self):
+        tree = optimize("select * from R1 natural join R2 where b = 'p'")
+        leaves = leaves_of(tree)
+        assert leaves["R1"].condition is None
+        assert leaves["R2"].condition is not None
+
+    def test_join_attribute_pushed_both_sides(self):
+        tree = optimize("select * from R1 natural join R2 where k > 1")
+        leaves = leaves_of(tree)
+        assert leaves["R1"].condition is not None
+        assert leaves["R2"].condition is not None
+
+    def test_mixed_conjunction_splits(self):
+        tree = optimize(
+            "select * from R1 natural join R2 where a = 'x' and b = 'p' and k > 0"
+        )
+        leaves = leaves_of(tree)
+        assert "a = 'x'" in str(leaves["R1"].condition)
+        assert "k > 0" in str(leaves["R1"].condition)
+        assert "b = 'p'" in str(leaves["R2"].condition)
+        assert isinstance(tree, algebra.Join)
+
+    def test_disjunction_across_sides_stays_residual(self):
+        tree = optimize(
+            "select * from R1 natural join R2 where a = 'x' or b = 'p'"
+        )
+        # The OR references both sides: nothing can be pushed.
+        assert isinstance(tree, algebra.Select)
+        leaves = leaves_of(tree)
+        assert leaves["R1"].condition is None
+        assert leaves["R2"].condition is None
+
+    def test_partial_residual(self):
+        tree = optimize(
+            "select * from R1 natural join R2 "
+            "where a = 'x' and (a = 'z' or b = 'p')"
+        )
+        assert isinstance(tree, algebra.Select)  # the OR stays above
+        assert leaves_of(tree)["R1"].condition is not None
+
+    def test_projection_preserved_above(self):
+        tree = optimize(
+            "select k from R1 natural join R2 where a = 'x'"
+        )
+        assert isinstance(tree, algebra.Project)
+        assert isinstance(tree.child, algebra.Join)
+
+    def test_no_where_untouched(self):
+        tree = optimize("select * from R1 natural join R2")
+        assert isinstance(tree, algebra.Join)
+        assert all(leaf.condition is None for leaf in tree.leaves())
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "select * from R1 natural join R2 where a = 'x'",
+            "select * from R1 natural join R2 where b = 'p'",
+            "select * from R1 natural join R2 where k > 1",
+            "select * from R1 natural join R2 where a != 'x' and b = 'p'",
+            "select * from R1 natural join R2 where a = 'x' or b = 'p'",
+            "select k, b from R1 natural join R2 where k >= 2",
+        ],
+    )
+    def test_optimized_tree_same_result(self, query):
+        original = sql.parse(query)
+        optimized = push_down_selections(original, SCHEMAS)
+        assert optimized.evaluate(ENV) == original.evaluate(ENV)
+
+    def test_unknown_schema_untouched(self):
+        tree = sql.parse("select * from X natural join Y where k = 1")
+        assert push_down_selections(tree, SCHEMAS) is tree
+
+
+class TestEndToEnd:
+    QUERY = "select * from R1 natural join R2 where r1_p0 != 'zzzz'"
+
+    @pytest.mark.parametrize("protocol", ["das", "commutative", "private-matching"])
+    def test_push_down_through_protocols(
+        self, ca, client, workload, protocol
+    ):
+        from repro import Federation, reference_join, run_join_query
+        from repro.mediation.access_control import allow_all
+
+        def build(push_down):
+            federation = Federation(ca=ca)
+            federation.mediator.push_down = push_down
+            federation.add_source("S1", [(workload.relation_1, allow_all())])
+            federation.add_source("S2", [(workload.relation_2, allow_all())])
+            federation.attach_client(client)
+            return federation
+
+        expected = reference_join(build(False), self.QUERY)
+        plain = run_join_query(build(False), self.QUERY, protocol=protocol)
+        pushed = run_join_query(build(True), self.QUERY, protocol=protocol)
+        assert plain.global_result == expected
+        assert pushed.global_result == expected
+
+    def test_push_down_reduces_traffic(self, ca, client, workload):
+        from repro import Federation, run_join_query
+        from repro.mediation.access_control import allow_all
+
+        # A highly selective pushable condition on R1's join attribute.
+        cutoff = sorted(workload.relation_1.active_domain("k"))[3]
+        query = f"select * from R1 natural join R2 where k <= {cutoff}"
+
+        def build(push_down):
+            federation = Federation(ca=ca)
+            federation.mediator.push_down = push_down
+            federation.add_source("S1", [(workload.relation_1, allow_all())])
+            federation.add_source("S2", [(workload.relation_2, allow_all())])
+            federation.attach_client(client)
+            return federation
+
+        plain = run_join_query(build(False), query, protocol="commutative")
+        pushed = run_join_query(build(True), query, protocol="commutative")
+        assert pushed.global_result == plain.global_result
+        assert pushed.total_bytes() < plain.total_bytes()

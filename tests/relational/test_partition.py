@@ -1,0 +1,197 @@
+"""Tests for domain partitioning and index tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PartitionError
+from repro.relational.partition import (
+    IndexTable,
+    Partition,
+    build_index_table,
+    equi_depth,
+    equi_width,
+    singleton,
+)
+
+
+class TestPartition:
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition(frozenset())
+
+    def test_bounds_validated(self):
+        with pytest.raises(PartitionError):
+            Partition(frozenset({5}), (6, 10))
+        with pytest.raises(PartitionError):
+            Partition(frozenset({5}), (10, 1))
+
+    def test_value_overlap(self):
+        a = Partition(frozenset({1, 2}))
+        b = Partition(frozenset({2, 3}))
+        c = Partition(frozenset({4}))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_range_overlap(self):
+        a = Partition(frozenset({1, 5}), (1, 5))
+        b = Partition(frozenset({4}), (4, 8))
+        c = Partition(frozenset({9}), (9, 12))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_range_overlap_without_shared_actives(self):
+        # The sound case: ranges intersect although the active values
+        # differ - the *other* source may hold values in the gap.
+        a = Partition(frozenset({1, 10}), (1, 10))
+        b = Partition(frozenset({5}), (5, 6))
+        assert a.overlaps(b)
+        assert not (a.values & b.values)
+
+    def test_descriptor_stability(self):
+        a = Partition(frozenset({"x", "y"}))
+        b = Partition(frozenset({"y", "x"}))
+        assert a.descriptor() == b.descriptor()
+
+
+class TestStrategies:
+    def test_equi_width_covers_domain(self):
+        domain = [1, 5, 9, 13, 22, 40]
+        partitions = equi_width(domain, 3)
+        covered = set().union(*(p.values for p in partitions))
+        assert covered == set(domain)
+        assert all(p.bounds is not None for p in partitions)
+
+    def test_equi_width_disjoint(self):
+        partitions = equi_width(range(100), 7)
+        seen = set()
+        for p in partitions:
+            assert not (p.values & seen)
+            seen |= p.values
+
+    def test_equi_width_single_bucket(self):
+        partitions = equi_width([3, 7, 11], 1)
+        assert len(partitions) == 1
+        assert partitions[0].bounds == (3, 11)
+
+    def test_equi_width_requires_ints(self):
+        with pytest.raises(PartitionError):
+            equi_width(["a", "b"], 2)
+
+    def test_equi_width_empty_domain(self):
+        assert equi_width([], 3) == []
+
+    def test_equi_depth_balanced(self):
+        partitions = equi_depth(list(range(12)), 4)
+        assert len(partitions) == 4
+        assert all(len(p.values) == 3 for p in partitions)
+
+    def test_equi_depth_strings(self):
+        partitions = equi_depth(["a", "b", "c", "d", "e"], 2)
+        covered = set().union(*(p.values for p in partitions))
+        assert covered == {"a", "b", "c", "d", "e"}
+
+    def test_equi_depth_more_buckets_than_values(self):
+        partitions = equi_depth([1, 2], 10)
+        assert len(partitions) == 2
+
+    def test_singleton(self):
+        partitions = singleton([3, 1, 2])
+        assert len(partitions) == 3
+        assert all(len(p.values) == 1 for p in partitions)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(PartitionError):
+            equi_width([1], 0)
+        with pytest.raises(PartitionError):
+            equi_depth([1], 0)
+
+    @given(
+        st.sets(st.integers(0, 1000), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_strategies_partition_domain(self, domain, buckets):
+        for strategy in (
+            lambda: equi_width(domain, buckets),
+            lambda: equi_depth(domain, buckets),
+            lambda: singleton(domain),
+        ):
+            partitions = strategy()
+            covered = [v for p in partitions for v in p.values]
+            assert sorted(covered) == sorted(domain)  # no gaps, no dups
+
+
+class TestIndexTable:
+    @pytest.fixture
+    def table(self):
+        return build_index_table(
+            "R1.k", equi_depth([1, 2, 3, 4, 5, 6], 3), salt=b"fixed-salt"
+        )
+
+    def test_index_of(self, table):
+        for value in (1, 4, 6):
+            index = table.index_of(value)
+            assert value in table.partition_of_index(index).values
+
+    def test_index_of_uncovered(self, table):
+        with pytest.raises(PartitionError):
+            table.index_of(99)
+
+    def test_unknown_index(self, table):
+        with pytest.raises(PartitionError):
+            table.partition_of_index(0)
+
+    def test_unique_index_values(self, table):
+        indexes = [index for _, index in table.entries]
+        assert len(set(indexes)) == len(indexes)
+
+    def test_salts_decorrelate_tables(self):
+        partitions = equi_depth([1, 2, 3, 4], 2)
+        t1 = build_index_table("R.k", partitions, salt=b"salt-1")
+        t2 = build_index_table("R.k", partitions, salt=b"salt-2")
+        assert {i for _, i in t1.entries} != {i for _, i in t2.entries}
+
+    def test_covered_values(self, table):
+        assert table.covered_values() == frozenset({1, 2, 3, 4, 5, 6})
+
+    def test_overlapping_pairs(self):
+        t1 = build_index_table("R1.k", equi_depth([1, 2, 3, 4], 2), salt=b"a")
+        t2 = build_index_table("R2.k", equi_depth([3, 4, 5, 6], 2), salt=b"b")
+        pairs = t1.overlapping_pairs(t2)
+        # {3,4} of t1 overlaps {3,4} of t2 only.
+        assert len(pairs) == 1
+        index_1, index_2 = pairs[0]
+        assert table_values(t1, index_1) == frozenset({3, 4})
+        assert table_values(t2, index_2) == frozenset({3, 4})
+
+    def test_no_overlap(self):
+        t1 = build_index_table("R1.k", singleton([1, 2]), salt=b"a")
+        t2 = build_index_table("R2.k", singleton([8, 9]), salt=b"b")
+        assert t1.overlapping_pairs(t2) == []
+
+    def test_serialization_round_trip(self, table):
+        restored = IndexTable.from_bytes(table.to_bytes())
+        assert restored.attribute == table.attribute
+        assert [i for _, i in restored.entries] == [i for _, i in table.entries]
+        assert restored.covered_values() == table.covered_values()
+
+    def test_serialization_with_bounds_and_strings(self):
+        table = build_index_table(
+            "R.name", equi_depth(["ada", "bob", "eve"], 2), salt=b"s"
+        )
+        restored = IndexTable.from_bytes(table.to_bytes())
+        assert restored.covered_values() == frozenset({"ada", "bob", "eve"})
+
+    def test_duplicate_index_values_rejected(self):
+        p1, p2 = Partition(frozenset({1})), Partition(frozenset({2}))
+        with pytest.raises(PartitionError):
+            IndexTable("R.k", ((p1, 7), (p2, 7)))
+
+    def test_overlapping_partitions_rejected(self):
+        p1, p2 = Partition(frozenset({1, 2})), Partition(frozenset({2, 3}))
+        with pytest.raises(PartitionError):
+            IndexTable("R.k", ((p1, 1), (p2, 2)))
+
+
+def table_values(table, index):
+    return table.partition_of_index(index).values

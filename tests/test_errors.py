@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.CryptoError,
+            errors.RelationalError,
+            errors.MediationError,
+        ],
+    )
+    def test_subsystem_bases(self, exception):
+        assert issubclass(exception, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exception,base",
+        [
+            (errors.KeyError_, errors.CryptoError),
+            (errors.ParameterError, errors.CryptoError),
+            (errors.EncryptionError, errors.CryptoError),
+            (errors.DecryptionError, errors.CryptoError),
+            (errors.IntegrityError, errors.DecryptionError),
+            (errors.EncodingError, errors.CryptoError),
+            (errors.SchemaError, errors.RelationalError),
+            (errors.QueryError, errors.RelationalError),
+            (errors.PartitionError, errors.RelationalError),
+            (errors.AccessDenied, errors.MediationError),
+            (errors.CredentialError, errors.MediationError),
+            (errors.NetworkError, errors.MediationError),
+            (errors.ProtocolError, errors.MediationError),
+        ],
+    )
+    def test_leaf_classification(self, exception, base):
+        assert issubclass(exception, base)
+        assert issubclass(exception, errors.ReproError)
+
+    def test_catch_all_contract(self):
+        """A caller catching ReproError catches every library failure."""
+        try:
+            raise errors.IntegrityError("tampered")
+        except errors.ReproError as caught:
+            assert "tampered" in str(caught)
+
+    def test_keyerror_does_not_shadow_builtin(self):
+        assert errors.KeyError_ is not KeyError
+        assert not issubclass(errors.KeyError_, KeyError)
