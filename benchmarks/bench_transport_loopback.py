@@ -1,0 +1,91 @@
+"""T1 — in-process bus vs loopback TCP, per delivery protocol.
+
+The transport subsystem claims that moving the three delivery protocols
+onto real sockets changes *where* bytes flow, not *what* the mediator
+computes.  This bench runs every protocol end-to-end on both carriers,
+times them, and compares byte accounting: the bus reports structural
+estimates plus a flat envelope constant, the TCP transport reports
+actual framed wire bytes.  The measured wire inflation (codec tags,
+length prefixes, envelope routing) should stay well under 2x.
+"""
+
+import time
+
+import pytest
+from conftest import write_report
+
+from repro import Federation, run_join_query
+from repro.mediation.access_control import allow_all
+from repro.transport import RetryPolicy, TcpTransport
+
+QUERY = "select * from R1 natural join R2"
+PROTOCOLS = ("das", "commutative", "private-matching")
+
+POLICY = RetryPolicy(connect_timeout=5.0, io_timeout=60.0)
+
+
+def _federation(ca, client, workload, network=None):
+    if network is None:
+        federation = Federation(ca=ca)
+    else:
+        federation = Federation(ca=ca, network=network)
+    federation.add_source("S1", [(workload.relation_1, allow_all())])
+    federation.add_source("S2", [(workload.relation_2, allow_all())])
+    federation.attach_client(client)
+    return federation
+
+
+def _timed_run(federation, protocol):
+    started = time.perf_counter()
+    result = run_join_query(federation, QUERY, protocol=protocol)
+    elapsed = time.perf_counter() - started
+    network = federation.network
+    return result, elapsed, network.total_bytes(), len(network.transcript)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_loopback_tcp_wall_clock(benchmark, ca, client, default_workload, protocol):
+    """pytest-benchmark series: one full join over loopback sockets."""
+
+    def run():
+        with TcpTransport(retry=POLICY) as transport:
+            federation = _federation(ca, client, default_workload, transport)
+            return run_join_query(federation, QUERY, protocol=protocol)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bus_vs_loopback_report(ca, client, default_workload):
+    lines = [
+        "Transport comparison: in-process bus vs loopback TCP",
+        "(same workload, same protocols; bus bytes are structural",
+        " estimates + envelope constant, tcp bytes are framed wire bytes)",
+        f"{'protocol':18s} {'carrier':8s} {'seconds':>9s} {'bytes':>9s} "
+        f"{'msgs':>5s} {'inflation':>9s}",
+    ]
+    for protocol in PROTOCOLS:
+        bus_result, bus_seconds, bus_bytes, bus_messages = _timed_run(
+            _federation(ca, client, default_workload), protocol
+        )
+        with TcpTransport(retry=POLICY) as transport:
+            tcp_result, tcp_seconds, tcp_bytes, tcp_messages = _timed_run(
+                _federation(ca, client, default_workload, transport), protocol
+            )
+
+        # Identical joins, identical interaction counts.
+        assert tcp_result.global_result == bus_result.global_result
+        assert tcp_messages == bus_messages
+
+        inflation = tcp_bytes / bus_bytes
+        # Real framing costs something, but nowhere near double.
+        assert 1.0 <= inflation < 2.0, (protocol, inflation)
+
+        lines.append(
+            f"{protocol:18s} {'bus':8s} {bus_seconds:>9.4f} {bus_bytes:>9d} "
+            f"{bus_messages:>5d} {'--':>9s}"
+        )
+        lines.append(
+            f"{protocol:18s} {'tcp':8s} {tcp_seconds:>9.4f} {tcp_bytes:>9d} "
+            f"{tcp_messages:>5d} {inflation:>8.2f}x"
+        )
+    write_report("transport_loopback.txt", "\n".join(lines))

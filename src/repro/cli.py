@@ -8,13 +8,17 @@ Commands:
   synthetic workload.
 * ``leakage``  — reproduce Tables 1 and 2 from live transcripts.
 * ``audit``    — run one protocol and emit the JSON audit record.
-* ``query``    — secure-join two relations loaded from CSV files.
+* ``query``    — secure-join two relations loaded from CSV files,
+  in-process or over TCP against running ``serve`` endpoints.
+* ``serve``    — run one party's TCP endpoint (mediator, source, or
+  client) for the distributed demo.
 * ``workload`` — generate a synthetic workload as two CSV files.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Sequence
 
@@ -31,16 +35,29 @@ from repro.mediation.access_control import allow_all
 from repro.mediation.client import default_homomorphic_scheme
 from repro.relational import csvio
 from repro.relational.datagen import WorkloadSpec, Workload, generate
+from repro.transport import PartyServer, TcpTransport
+from repro.transport.base import Transport
 
 DEFAULT_RSA_BITS = 1024
 DEFAULT_PAILLIER_BITS = 1024
 
+#: Default loopback ports of the distributed-demo endpoints.
+DEFAULT_PORTS = {"mediator": 7401, "S1": 7402, "S2": 7403}
+DEFAULT_PARTY_OF_ROLE = {"mediator": "mediator", "source": "S1"}
+
 
 def _build_federation(
-    relation_1, relation_2, rsa_bits: int, paillier_bits: int
+    relation_1,
+    relation_2,
+    rsa_bits: int,
+    paillier_bits: int,
+    network: Transport | None = None,
 ) -> Federation:
     ca = CertificationAuthority(key_bits=rsa_bits)
-    federation = Federation(ca=ca)
+    if network is not None:
+        federation = Federation(ca=ca, network=network)
+    else:
+        federation = Federation(ca=ca)
     federation.add_source("S1", [(relation_1, allow_all())])
     federation.add_source("S2", [(relation_2, allow_all())])
     federation.attach_client(
@@ -157,21 +174,88 @@ def _command_audit(args) -> int:
     return 0
 
 
+def _parse_endpoints(pairs: list[str]) -> dict[str, tuple[str, int]]:
+    """``PARTY=HOST:PORT`` arguments -> endpoint map, with defaults."""
+    endpoints = {
+        party: ("127.0.0.1", port) for party, port in DEFAULT_PORTS.items()
+    }
+    for pair in pairs:
+        try:
+            party, address = pair.split("=", 1)
+            host, port = address.rsplit(":", 1)
+            endpoints[party] = (host, int(port))
+        except ValueError:
+            raise SystemExit(
+                f"invalid --endpoint {pair!r}; expected PARTY=HOST:PORT"
+            )
+    return endpoints
+
+
 def _command_query(args) -> int:
     relation_1 = csvio.load(args.name1, args.csv1)
     relation_2 = csvio.load(args.name2, args.csv2)
-    federation = _build_federation(
-        relation_1, relation_2, args.rsa_bits, args.paillier_bits
+    transport = None
+    if args.transport == "tcp":
+        # Mediator and sources must already be listening (``repro
+        # serve``); the client's own endpoint is hosted in this process.
+        transport = TcpTransport(endpoints=_parse_endpoints(args.endpoint))
+    try:
+        federation = _build_federation(
+            relation_1, relation_2, args.rsa_bits, args.paillier_bits,
+            network=transport,
+        )
+        sql = args.sql or (
+            f"select * from {args.name1} natural join {args.name2}"
+        )
+        result = run_join_query(federation, sql, protocol=args.protocol)
+        if args.output:
+            csvio.dump(result.global_result, args.output)
+            print(f"{len(result.global_result)} rows written to {args.output}")
+        else:
+            print(result.global_result.pretty())
+        if transport is not None:
+            print(
+                f"\n{len(federation.network.transcript)} messages, "
+                f"{result.total_bytes()} actual bytes on the wire"
+            )
+            remote = transport.remote_view(federation.mediator.name)
+            print(
+                f"mediator endpoint recorded {len(remote)} messages "
+                f"({sum(r.wire_bytes for r in remote)} B received)"
+            )
+    finally:
+        if transport is not None:
+            transport.close()
+    return 0
+
+
+def _command_serve(args) -> int:
+    party = args.party or DEFAULT_PARTY_OF_ROLE.get(args.role, "client")
+    port = args.port if args.port is not None else DEFAULT_PORTS.get(party, 0)
+    server = PartyServer(
+        party,
+        host=args.host,
+        port=port,
+        on_message=lambda record: print(
+            f"#{record.sequence:03d} {record.sender} -> {record.receiver}: "
+            f"{record.kind} ({record.wire_bytes} B)",
+            flush=True,
+        ),
     )
-    sql = args.sql or (
-        f"select * from {args.name1} natural join {args.name2}"
-    )
-    result = run_join_query(federation, sql, protocol=args.protocol)
-    if args.output:
-        csvio.dump(result.global_result, args.output)
-        print(f"{len(result.global_result)} rows written to {args.output}")
-    else:
-        print(result.global_result.pretty())
+
+    async def _serve() -> None:
+        host, bound_port = await server.start()
+        print(
+            f"{args.role} endpoint for party {party!r} listening on "
+            f"{host}:{bound_port}",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print(f"\n{party}: {len(server.records)} messages received, bye")
     return 0
 
 
@@ -261,8 +345,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", choices=sorted(PROTOCOLS), default="commutative"
     )
     query.add_argument("--output", default=None, help="write result CSV here")
+    query.add_argument(
+        "--transport", choices=("bus", "tcp"), default="bus",
+        help="message carrier: in-process bus or TCP endpoints",
+    )
+    query.add_argument(
+        "--endpoint", action="append", default=[], metavar="PARTY=HOST:PORT",
+        help="TCP endpoint of a remote party (repeatable; defaults: "
+             "mediator=127.0.0.1:7401, S1=...:7402, S2=...:7403)",
+    )
     _add_crypto_arguments(query)
     query.set_defaults(handler=_command_query)
+
+    serve = commands.add_parser(
+        "serve", help="run one party's TCP endpoint for the distributed demo"
+    )
+    serve.add_argument(
+        "role", choices=("mediator", "source", "client"),
+        help="which party role this endpoint plays",
+    )
+    serve.add_argument(
+        "--party", default=None,
+        help="party name (defaults: mediator, S1, or client)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listening port (default: the party's well-known demo port)",
+    )
+    serve.set_defaults(handler=_command_serve)
 
     report = commands.add_parser(
         "report", help="full markdown evaluation report (all protocols)"

@@ -18,14 +18,20 @@ from repro.mediation.datasource import DataSource
 from repro.mediation.mediator import Mediator
 from repro.mediation.network import Network
 from repro.relational.relation import Relation
+from repro.transport.base import Transport
 
 
 @dataclass
 class Federation:
-    """One mediated information system instance."""
+    """One mediated information system instance.
+
+    ``network`` accepts any :class:`~repro.transport.base.Transport`:
+    the in-process bus (default) or a :class:`repro.transport.TcpTransport`
+    wired to per-party endpoints — protocols never know the difference.
+    """
 
     ca: CertificationAuthority
-    network: Network = field(default_factory=Network)
+    network: Transport = field(default_factory=Network)
     mediator: Mediator = field(default_factory=Mediator)
     sources: dict[str, DataSource] = field(default_factory=dict)
     client: Client | None = None

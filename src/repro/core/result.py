@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.crypto.instrumentation import PrimitiveCounter
-from repro.mediation.network import Network
+from repro.transport.base import Transport
 from repro.relational.relation import Relation
 
 
@@ -32,7 +32,7 @@ class MediationResult:
     protocol: str
     query: str
     global_result: Relation
-    network: Network
+    network: Transport
     primitive_counter: PrimitiveCounter
     timings: list[StepTiming] = field(default_factory=list)
     #: Protocol-specific intermediate artifacts (index tables, matched

@@ -86,7 +86,9 @@ class CredentialError(MediationError):
 
 
 class NetworkError(MediationError):
-    """Message-bus failure: unknown party, undeliverable message."""
+    """Transport failure: unknown party or undeliverable message on the
+    bus; refused connection, acknowledgement timeout, handshake
+    mismatch, or mid-protocol disconnect on the TCP transport."""
 
 
 class ProtocolError(MediationError):

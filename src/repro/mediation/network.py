@@ -1,16 +1,18 @@
-"""The in-memory message bus and transcript recorder.
+"""The in-process message bus and transcript recorder.
 
-The MMM prototype is a distributed system; for reproduction we replace
-the transport with an instrumented in-process bus that preserves what the
-protocols depend on — *who* sends *what* to *whom*, in *which order* —
-and additionally records:
+The MMM prototype is a distributed system; for fast in-process runs the
+transport is an instrumented bus that preserves what the protocols
+depend on — *who* sends *what* to *whom*, in *which order* — and
+additionally records the full ordered transcript, per-party views,
+per-message size estimates, and per-party-pair message counts.
 
-* the full ordered transcript (for Listing 1-4 conformance checks),
-* per-party **views** — everything a semi-honest party observes: the
-  messages it sent and received (leakage analysis reads the mediator's
-  view to reproduce Table 1),
-* per-message size estimates (bytes-on-the-wire comparison, E6),
-* per-party-pair message counts (interaction comparison, E5).
+All of that bookkeeping lives in the shared
+:class:`~repro.transport.base.Transport` base class, which this bus and
+the real TCP transport (:class:`repro.transport.tcp.TcpTransport`) both
+implement; protocols and analyses run unchanged over either.  The bus
+remains the default carrier: it needs no sockets, and its structural
+size estimates (:mod:`repro.mediation.sizing`) are close to — and
+reconciled by test against — the TCP codec's actual wire bytes.
 
 Parties must be registered before they can send or receive; unknown
 endpoints raise :class:`~repro.errors.NetworkError` — a datasource that
@@ -19,157 +21,47 @@ endpoints raise :class:`~repro.errors.NetworkError` — a datasource that
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any
 
-from repro.errors import NetworkError
 from repro.mediation.sizing import estimate_size
+from repro.transport.base import (  # re-exported for compatibility
+    Message,
+    PartyView,
+    Transport,
+    link_traffic_table,
+)
 
 #: Fixed per-message envelope overhead (headers, routing) in bytes.
+#:
+#: Reconciled against the real wire format (see ``docs/transport.md``
+#: and ``tests/transport/test_sizing_reconciliation.py``): the TCP
+#: codec's envelope costs ``FRAME_HEADER_BYTES`` (8) for the frame
+#: header plus the encoded ``(sequence, sender, receiver, kind)``
+#: prefix — roughly 40-70 bytes for the party and kind names the
+#: protocols use.  64 stays a faithful structural constant.
 ENVELOPE_BYTES = 64
 
-
-@dataclass(frozen=True)
-class Message:
-    """One transmitted message."""
-
-    sequence: int
-    sender: str
-    receiver: str
-    kind: str
-    body: Any = field(repr=False)
-    size_bytes: int
-
-    def summary(self) -> str:
-        return (
-            f"#{self.sequence:03d} {self.sender} -> {self.receiver}: "
-            f"{self.kind} ({self.size_bytes} B)"
-        )
+__all__ = [
+    "ENVELOPE_BYTES",
+    "Message",
+    "Network",
+    "PartyView",
+    "Transport",
+    "link_traffic_table",
+]
 
 
-@dataclass
-class PartyView:
-    """What one semi-honest party observes during a protocol run.
-
-    The *view* is the formal object of semi-honest security analyses:
-    a party may try to infer anything computable from its view, but acts
-    exactly as the protocol prescribes.
-    """
-
-    party: str
-    sent: list[Message] = field(default_factory=list)
-    received: list[Message] = field(default_factory=list)
-    notes: dict[str, Any] = field(default_factory=dict)
-
-    def observed_messages(self) -> list[Message]:
-        return sorted(self.sent + self.received, key=lambda m: m.sequence)
-
-    def received_kinds(self) -> list[str]:
-        return [message.kind for message in self.received]
-
-
-class Network:
-    """Registry of parties plus the shared transcript."""
-
-    def __init__(self) -> None:
-        self._parties: dict[str, PartyView] = {}
-        self._messages: list[Message] = []
-        self._sequence = itertools.count(1)
-
-    # -- registration -----------------------------------------------------
-
-    def register(self, party: str) -> None:
-        if party in self._parties:
-            raise NetworkError(f"party {party!r} already registered")
-        self._parties[party] = PartyView(party)
-
-    def parties(self) -> tuple[str, ...]:
-        return tuple(self._parties)
-
-    def view(self, party: str) -> PartyView:
-        if party not in self._parties:
-            raise NetworkError(f"unknown party {party!r}")
-        return self._parties[party]
-
-    # -- transmission -------------------------------------------------------
+class Network(Transport):
+    """The in-process bus: immediate delivery, estimated byte counts."""
 
     def send(self, sender: str, receiver: str, kind: str, body: Any) -> Message:
         """Deliver one message and record it in views and transcript."""
-        if sender not in self._parties:
-            raise NetworkError(f"unknown sender {sender!r}")
-        if receiver not in self._parties:
-            raise NetworkError(f"unknown receiver {receiver!r}")
-        message = Message(
-            sequence=next(self._sequence),
-            sender=sender,
-            receiver=receiver,
-            kind=kind,
-            body=body,
-            size_bytes=ENVELOPE_BYTES + estimate_size(body),
+        self._require_parties(sender, receiver)
+        return self._record(
+            self._take_sequence(),
+            sender,
+            receiver,
+            kind,
+            body,
+            ENVELOPE_BYTES + estimate_size(body),
         )
-        self._messages.append(message)
-        self._parties[sender].sent.append(message)
-        self._parties[receiver].received.append(message)
-        return message
-
-    # -- transcript queries ---------------------------------------------------
-
-    @property
-    def transcript(self) -> tuple[Message, ...]:
-        return tuple(self._messages)
-
-    def messages_from(self, sender: str, receiver: str | None = None) -> list[Message]:
-        return [
-            m
-            for m in self._messages
-            if m.sender == sender and (receiver is None or m.receiver == receiver)
-        ]
-
-    def messages_of_kind(self, kind: str) -> list[Message]:
-        return [m for m in self._messages if m.kind == kind]
-
-    def total_bytes(self) -> int:
-        return sum(m.size_bytes for m in self._messages)
-
-    def bytes_between(self, a: str, b: str) -> int:
-        """Total traffic on the (undirected) link between two parties."""
-        return sum(
-            m.size_bytes
-            for m in self._messages
-            if {m.sender, m.receiver} == {a, b}
-        )
-
-    def interaction_count(self, a: str, b: str) -> int:
-        """Number of *interactions* of ``a`` with ``b``.
-
-        Following Section 6's usage ("the client has to interact twice
-        with the mediator"), an interaction is a maximal run of
-        consecutive messages (in transcript order, restricted to the
-        a<->b link) initiated by ``a``: the client sending the query is
-        one interaction; receiving the reply and sending the next request
-        starts the second.
-        """
-        link = [m for m in self._messages if {m.sender, m.receiver} == {a, b}]
-        interactions = 0
-        previous_sender = None
-        for message in link:
-            if message.sender == a and previous_sender != a:
-                interactions += 1
-            previous_sender = message.sender
-        return interactions
-
-    def flow_summary(self) -> list[str]:
-        """Human-readable transcript (used by the architecture bench)."""
-        return [message.summary() for message in self._messages]
-
-    def edges(self) -> set[tuple[str, str]]:
-        """Undirected communication edges (the Figure 1/2 topology)."""
-        return {
-            tuple(sorted((m.sender, m.receiver))) for m in self._messages
-        }
-
-
-def link_traffic_table(network: Network, pairs: Iterable[tuple[str, str]]) -> dict:
-    """Bytes per link, for reporting."""
-    return {f"{a}<->{b}": network.bytes_between(a, b) for a, b in pairs}

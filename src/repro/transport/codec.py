@@ -1,0 +1,573 @@
+"""Length-prefixed binary codec for protocol messages.
+
+Everything the three delivery protocols put on the bus — ciphertexts,
+index tables, tagged message sets, encrypted polynomial coefficients,
+credentials — must survive a real wire.  This module defines:
+
+* a **value codec**: a recursive, type-tagged binary encoding of the
+  payload trees the protocols exchange (primitives, containers, and a
+  registry of domain extension types),
+* an **envelope codec**: the ``(sequence, sender, receiver, kind, body)``
+  tuple every transmitted message is wrapped in,
+* **framing**: an 8-byte frame header (magic, version, frame type,
+  payload length) plus asyncio stream helpers.
+
+Wire format (all integers big-endian)::
+
+    frame   := magic(2) version(1) type(1) length(4) payload(length)
+    payload := value                      -- one encoded value tree
+    value   := tag(1) tag-specific-body
+
+Value tags::
+
+    0x00 None            0x01 False           0x02 True
+    0x03 int    u32 length + signed big-endian two's complement
+    0x04 float  IEEE-754 double (8 bytes)
+    0x05 bytes  u32 length + raw
+    0x06 str    u32 length + UTF-8
+    0x07 list   u32 count + values       0x08 tuple  (same body)
+    0x09 dict   u32 count + key/value value pairs
+    0x0A set    u32 count + values       0x0B frozenset (same body)
+    0x0C ext    u8 name length + ASCII name + packed value
+    0x0D ref    u32 index into the stream's interning table
+
+**Extensions** cover the domain types (hybrid/Paillier/ElGamal/EC
+ciphertexts, index tables, DAS relations, credentials, ...).  Public
+keys, groups, and curves are **interned**: the first occurrence in a
+stream is encoded in full and appended to an interning table that both
+encoder and decoder maintain in stream order; later occurrences encode
+as a 5-byte ``ref``.  A message carrying a thousand Paillier ciphertexts
+therefore ships the public modulus once, not a thousand times — this is
+what keeps actual wire bytes close to the structural estimates of
+:func:`repro.mediation.sizing.estimate_size`.
+
+The registry is populated lazily on first use so that importing the
+codec does not drag in the whole protocol stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, Callable
+
+from repro.errors import EncodingError, NetworkError
+
+# -- framing constants --------------------------------------------------------
+
+MAGIC = b"SM"
+VERSION = 1
+#: magic(2) + version(1) + frame type(1) + payload length(4).
+FRAME_HEADER_BYTES = 8
+#: Refuse frames above this size instead of exhausting memory.
+MAX_FRAME_BYTES = 1 << 30
+
+# Frame types.
+DATA = 0x01    # one protocol message envelope
+ACK = 0x02     # receipt acknowledgement for a DATA frame
+HELLO = 0x03   # endpoint handshake request
+OK = 0x04      # handshake / control success
+FETCH = 0x05   # request the endpoint's recorded view
+VIEW = 0x06    # response to FETCH
+ERROR = 0x7F   # remote failure report
+
+_FRAME_TYPES = {DATA, ACK, HELLO, OK, FETCH, VIEW, ERROR}
+
+# -- value tags ---------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_BYTES = 0x05
+_T_STR = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_SET = 0x0A
+_T_FROZENSET = 0x0B
+_T_EXT = 0x0C
+_T_REF = 0x0D
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+class _Extension:
+    """One registered domain type: how to take it apart and rebuild it."""
+
+    __slots__ = ("name", "cls", "pack", "unpack", "shareable")
+
+    def __init__(
+        self,
+        name: str,
+        cls: type,
+        pack: Callable[[Any], Any],
+        unpack: Callable[[Any], Any],
+        shareable: bool = False,
+    ) -> None:
+        self.name = name
+        self.cls = cls
+        self.pack = pack
+        self.unpack = unpack
+        self.shareable = shareable
+
+
+_BY_NAME: dict[str, _Extension] = {}
+_BY_CLS: dict[type, _Extension] = {}
+_BOOTSTRAPPED = False
+
+
+def _register(
+    name: str,
+    cls: type,
+    pack: Callable[[Any], Any],
+    unpack: Callable[[Any], Any],
+    shareable: bool = False,
+) -> None:
+    extension = _Extension(name, cls, pack, unpack, shareable)
+    _BY_NAME[name] = extension
+    _BY_CLS[cls] = extension
+
+
+def _bootstrap() -> None:
+    """Register every domain type the protocols put on the wire.
+
+    Imports happen here, not at module load, so the codec stays cheap to
+    import and free of circular-import hazards.
+    """
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+
+    from repro.core.commutative import TaggedMessage
+    from repro.core.das import (
+        EncryptedRelation,
+        EncryptedTuple,
+        ServerQuery,
+        ServerResult,
+    )
+    from repro.crypto.commutative import CommutativeGroup
+    from repro.crypto.ec import Curve, Point
+    from repro.crypto.ecelgamal import ECElGamalCiphertext, ECElGamalPublicKey
+    from repro.crypto.elgamal import ElGamalCiphertext, ElGamalPublicKey
+    from repro.crypto.hybrid import HybridCiphertext
+    from repro.crypto.paillier import PaillierCiphertext, PaillierPublicKey
+    from repro.crypto.rsa import RSAPublicKey
+    from repro.mediation.credentials import Credential
+    from repro.relational.encoding import decode_relation, encode_relation
+    from repro.relational.partition import IndexTable, Partition
+    from repro.relational.relation import Relation
+
+    _register(
+        "hybrid-ct",
+        HybridCiphertext,
+        lambda c: (dict(c.wrapped_keys), c.body),
+        lambda t: HybridCiphertext(wrapped_keys=t[0], body=t[1]),
+    )
+    _register(
+        "rsa-pub",
+        RSAPublicKey,
+        lambda k: (k.n, k.e),
+        lambda t: RSAPublicKey(n=t[0], e=t[1]),
+        shareable=True,
+    )
+    _register(
+        "paillier-pub",
+        PaillierPublicKey,
+        lambda k: (k.n,),
+        lambda t: PaillierPublicKey(n=t[0]),
+        shareable=True,
+    )
+    _register(
+        "paillier-ct",
+        PaillierCiphertext,
+        lambda c: (c.value, c.public_key),
+        lambda t: PaillierCiphertext(value=t[0], public_key=t[1]),
+    )
+    _register(
+        "qr-group",
+        CommutativeGroup,
+        lambda g: (g.p,),
+        lambda t: CommutativeGroup(p=t[0]),
+        shareable=True,
+    )
+    _register(
+        "elgamal-pub",
+        ElGamalPublicKey,
+        lambda k: (k.group, k.g, k.h),
+        lambda t: ElGamalPublicKey(group=t[0], g=t[1], h=t[2]),
+        shareable=True,
+    )
+    _register(
+        "elgamal-ct",
+        ElGamalCiphertext,
+        lambda c: (c.c1, c.c2, c.public_key),
+        lambda t: ElGamalCiphertext(c1=t[0], c2=t[1], public_key=t[2]),
+    )
+    _register(
+        "curve",
+        Curve,
+        lambda c: (c.name, c.p, c.a, c.b, c.gx, c.gy, c.n),
+        lambda t: Curve(
+            name=t[0], p=t[1], a=t[2], b=t[3], gx=t[4], gy=t[5], n=t[6]
+        ),
+        shareable=True,
+    )
+    _register(
+        "ec-point",
+        Point,
+        lambda p: (p.curve, p.x, p.y),
+        lambda t: Point(t[0], t[1], t[2]),
+    )
+    _register(
+        "ecelgamal-pub",
+        ECElGamalPublicKey,
+        lambda k: (k.curve, k.h),
+        lambda t: ECElGamalPublicKey(curve=t[0], h=t[1]),
+        shareable=True,
+    )
+    _register(
+        "ecelgamal-ct",
+        ECElGamalCiphertext,
+        lambda c: (c.c1, c.c2, c.public_key),
+        lambda t: ECElGamalCiphertext(c1=t[0], c2=t[1], public_key=t[2]),
+    )
+    _register(
+        "credential",
+        Credential,
+        lambda c: (c.properties, c.public_key, c.issuer, c.signature),
+        lambda t: Credential(
+            properties=t[0], public_key=t[1], issuer=t[2], signature=t[3]
+        ),
+    )
+    _register(
+        "partition",
+        Partition,
+        lambda p: (p.values, p.bounds),
+        lambda t: Partition(values=t[0], bounds=t[1]),
+    )
+    _register(
+        "index-table",
+        IndexTable,
+        lambda i: (i.attribute, i.entries, i.salt),
+        lambda t: IndexTable(attribute=t[0], entries=t[1], salt=t[2]),
+    )
+    _register(
+        "das-tuple",
+        EncryptedTuple,
+        lambda e: (e.etuple, e.index_value, e.plain_values),
+        lambda t: EncryptedTuple(
+            etuple=t[0], index_value=t[1], plain_values=t[2]
+        ),
+    )
+    _register(
+        "das-relation",
+        EncryptedRelation,
+        lambda r: (r.source, r.relation_name, r.rows),
+        lambda t: EncryptedRelation(
+            source=t[0], relation_name=t[1], rows=t[2]
+        ),
+    )
+    _register(
+        "das-server-query",
+        ServerQuery,
+        lambda q: (q.pairs,),
+        lambda t: ServerQuery(pairs=t[0]),
+    )
+    _register(
+        "das-server-result",
+        ServerResult,
+        lambda r: (r.pairs,),
+        lambda t: ServerResult(pairs=t[0]),
+    )
+    _register(
+        "tagged-message",
+        TaggedMessage,
+        lambda m: (m.tag, m.payload),
+        lambda t: TaggedMessage(tag=t[0], payload=t[1]),
+    )
+    _register(
+        "relation",
+        Relation,
+        lambda r: encode_relation(r),
+        lambda data: decode_relation(data),
+    )
+
+
+class _Encoder:
+    """One encoding pass; owns the stream's interning table."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._interned: dict[int, int] = {}  # id(obj) -> table index
+        self._keepalive: list[Any] = []      # ids stay valid while we run
+        self._next_index = 0
+
+    def encode(self, value: Any) -> bytes:
+        self._value(value)
+        return b"".join(self._chunks)
+
+    # -- emit helpers -----------------------------------------------------
+
+    def _tag(self, tag: int) -> None:
+        self._chunks.append(bytes((tag,)))
+
+    def _u32(self, value: int) -> None:
+        self._chunks.append(_U32.pack(value))
+
+    def _sized(self, tag: int, data: bytes) -> None:
+        self._tag(tag)
+        self._u32(len(data))
+        self._chunks.append(data)
+
+    def _items(self, tag: int, items: Any, count: int) -> None:
+        self._tag(tag)
+        self._u32(count)
+        for item in items:
+            self._value(item)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _value(self, value: Any) -> None:
+        if value is None:
+            self._tag(_T_NONE)
+        elif value is True:
+            self._tag(_T_TRUE)
+        elif value is False:
+            self._tag(_T_FALSE)
+        elif type(value) is int:
+            length = (value.bit_length() + 8) // 8  # room for the sign bit
+            self._sized(_T_INT, value.to_bytes(max(1, length), "big", signed=True))
+        elif type(value) is float:
+            self._tag(_T_FLOAT)
+            self._chunks.append(_F64.pack(value))
+        elif isinstance(value, (bytes, bytearray)):
+            self._sized(_T_BYTES, bytes(value))
+        elif type(value) is str:
+            self._sized(_T_STR, value.encode("utf-8"))
+        elif type(value) is list:
+            self._items(_T_LIST, value, len(value))
+        elif type(value) is tuple:
+            self._items(_T_TUPLE, value, len(value))
+        elif type(value) is dict:
+            self._tag(_T_DICT)
+            self._u32(len(value))
+            for key, item in value.items():
+                self._value(key)
+                self._value(item)
+        elif type(value) is set:
+            self._items(_T_SET, _canonical(value), len(value))
+        elif type(value) is frozenset:
+            self._items(_T_FROZENSET, _canonical(value), len(value))
+        else:
+            self._extension(value)
+
+    def _extension(self, value: Any) -> None:
+        _bootstrap()
+        extension = _BY_CLS.get(type(value))
+        if extension is None:
+            raise EncodingError(
+                f"no wire encoding registered for {type(value).__name__}"
+            )
+        if extension.shareable:
+            index = self._interned.get(id(value))
+            if index is not None:
+                self._tag(_T_REF)
+                self._u32(index)
+                return
+            self._interned[id(value)] = self._next_index
+            self._keepalive.append(value)
+            self._next_index += 1
+        name = extension.name.encode("ascii")
+        self._tag(_T_EXT)
+        self._chunks.append(bytes((len(name),)))
+        self._chunks.append(name)
+        self._value(extension.pack(value))
+
+
+def _canonical(items: Any) -> list:
+    """Deterministic set ordering, so equal sets encode identically."""
+    return sorted(items, key=lambda item: (type(item).__name__, repr(item)))
+
+
+class _Decoder:
+    """One decoding pass over a complete buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+        self._interned: list[Any] = []
+
+    def decode(self) -> Any:
+        value = self._value()
+        if self._offset != len(self._data):
+            raise EncodingError(
+                f"{len(self._data) - self._offset} trailing bytes after value"
+            )
+        return value
+
+    # -- read helpers -----------------------------------------------------
+
+    def _take(self, count: int) -> bytes:
+        end = self._offset + count
+        if end > len(self._data):
+            raise EncodingError("truncated value encoding")
+        chunk = self._data[self._offset:end]
+        self._offset = end
+        return chunk
+
+    def _u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _value(self) -> Any:
+        tag = self._take(1)[0]
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return int.from_bytes(self._take(self._u32()), "big", signed=True)
+        if tag == _T_FLOAT:
+            return _F64.unpack(self._take(8))[0]
+        if tag == _T_BYTES:
+            return self._take(self._u32())
+        if tag == _T_STR:
+            return self._take(self._u32()).decode("utf-8")
+        if tag == _T_LIST:
+            return [self._value() for _ in range(self._u32())]
+        if tag == _T_TUPLE:
+            return tuple(self._value() for _ in range(self._u32()))
+        if tag == _T_DICT:
+            count = self._u32()
+            result = {}
+            for _ in range(count):
+                key = self._value()
+                result[key] = self._value()
+            return result
+        if tag == _T_SET:
+            return {self._value() for _ in range(self._u32())}
+        if tag == _T_FROZENSET:
+            return frozenset(self._value() for _ in range(self._u32()))
+        if tag == _T_EXT:
+            return self._ext()
+        if tag == _T_REF:
+            index = self._u32()
+            if index >= len(self._interned):
+                raise EncodingError(f"dangling interning reference {index}")
+            return self._interned[index]
+        raise EncodingError(f"unknown value tag 0x{tag:02x}")
+
+    def _ext(self) -> Any:
+        _bootstrap()
+        name_length = self._take(1)[0]
+        name = self._take(name_length).decode("ascii")
+        extension = _BY_NAME.get(name)
+        if extension is None:
+            raise EncodingError(f"unknown wire extension {name!r}")
+        value = extension.unpack(self._value())
+        if extension.shareable:
+            self._interned.append(value)
+        return value
+
+
+# -- public value/envelope API -----------------------------------------------
+
+def encode_value(value: Any) -> bytes:
+    """Encode one payload tree to bytes."""
+    return _Encoder().encode(value)
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`."""
+    return _Decoder(data).decode()
+
+
+def encoded_size(value: Any) -> int:
+    """Actual number of payload bytes :func:`encode_value` produces."""
+    return len(encode_value(value))
+
+
+def encode_envelope(
+    sequence: int, sender: str, receiver: str, kind: str, body: Any
+) -> bytes:
+    """Encode one message envelope (the payload of a DATA frame)."""
+    return encode_value((sequence, sender, receiver, kind, body))
+
+
+def decode_envelope(data: bytes) -> tuple[int, str, str, str, Any]:
+    """Inverse of :func:`encode_envelope`, with shape validation."""
+    envelope = decode_value(data)
+    if (
+        not isinstance(envelope, tuple)
+        or len(envelope) != 5
+        or not isinstance(envelope[0], int)
+        or not all(isinstance(part, str) for part in envelope[1:4])
+    ):
+        raise EncodingError("malformed message envelope")
+    return envelope
+
+
+# -- framing ------------------------------------------------------------------
+
+def build_frame(frame_type: int, payload: bytes) -> bytes:
+    """Prepend the 8-byte frame header to an encoded payload."""
+    if frame_type not in _FRAME_TYPES:
+        raise EncodingError(f"unknown frame type 0x{frame_type:02x}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise EncodingError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return MAGIC + bytes((VERSION, frame_type)) + _U32.pack(len(payload)) + payload
+
+
+def parse_frame_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header; returns ``(frame_type, payload_length)``."""
+    if len(header) != FRAME_HEADER_BYTES:
+        raise NetworkError("short frame header")
+    if header[:2] != MAGIC:
+        raise NetworkError(f"bad frame magic {header[:2]!r}")
+    if header[2] != VERSION:
+        raise NetworkError(f"unsupported wire version {header[2]}")
+    frame_type = header[3]
+    if frame_type not in _FRAME_TYPES:
+        raise NetworkError(f"unknown frame type 0x{frame_type:02x}")
+    length = _U32.unpack(header[4:8])[0]
+    if length > MAX_FRAME_BYTES:
+        raise NetworkError(f"frame of {length} bytes exceeds the size limit")
+    return frame_type, length
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, timeout: float | None = None
+) -> tuple[int, bytes]:
+    """Read one complete frame; raises :class:`NetworkError` on EOF/garbage.
+
+    ``timeout`` bounds each of the two reads; ``asyncio.TimeoutError``
+    propagates to the caller, which maps it onto the failure being
+    diagnosed (ack timeout, dead peer, ...).
+    """
+    try:
+        header = await asyncio.wait_for(
+            reader.readexactly(FRAME_HEADER_BYTES), timeout
+        )
+        frame_type, length = parse_frame_header(header)
+        payload = await asyncio.wait_for(reader.readexactly(length), timeout)
+    except asyncio.IncompleteReadError as exc:
+        raise NetworkError("connection closed mid-frame") from exc
+    return frame_type, payload
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, frame_type: int, payload: bytes
+) -> None:
+    """Write one frame and flush."""
+    writer.write(build_frame(frame_type, payload))
+    await writer.drain()

@@ -1,0 +1,204 @@
+"""The asyncio TCP endpoint one party listens on.
+
+A :class:`PartyServer` is the network face of one party (mediator,
+datasource, or client): it accepts framed connections, decodes every
+protocol message addressed to its party, records the party's **view** of
+the traffic (sequence, sender, kind, actual wire bytes — the same
+observables the leakage analysis consumes), and acknowledges receipt so
+the sender can account actual bytes and detect dead peers.
+
+Endpoints speak a tiny control protocol next to DATA frames:
+
+* ``HELLO {party}``  -> ``OK {party}`` — handshake; the connecting
+  transport verifies it reached the party it thinks it did.
+* ``FETCH {}``       -> ``VIEW [record, ...]`` — the endpoint's recorded
+  view, for reconciling remote observations against the sender-side
+  transcript.
+* misdelivered or malformed frames -> ``ERROR {error}``.
+
+Fault injection for tests: ``max_messages=N`` makes the endpoint drop
+the connection *without acknowledging* the (N+1)-th data message and
+stop listening — the deterministic "datasource dies mid-protocol".
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict, dataclass
+
+from repro.errors import NetworkError
+from repro.transport import codec
+
+
+@dataclass(frozen=True)
+class RemoteRecord:
+    """One data message as observed by the receiving endpoint."""
+
+    sequence: int
+    sender: str
+    receiver: str
+    kind: str
+    wire_bytes: int
+
+
+class PartyServer:
+    """One party's listening endpoint.
+
+    All coroutines must run on the same event loop; the synchronous
+    :class:`~repro.transport.tcp.TcpTransport` drives them from its
+    background loop, the ``repro serve`` CLI from ``asyncio.run``.
+    """
+
+    def __init__(
+        self,
+        party: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_messages: int | None = None,
+        on_message=None,
+    ) -> None:
+        self.party = party
+        self.host = host
+        self.port = port
+        self.records: list[RemoteRecord] = []
+        self._max_messages = max_messages
+        self._on_message = on_message
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; resolves the actual port when ``port=0``."""
+        if self._server is not None:
+            raise NetworkError(f"endpoint for {self.party!r} already started")
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port
+            )
+        except OSError as exc:
+            raise NetworkError(
+                f"cannot bind endpoint for {self.party!r} on "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening and drop every open connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame_type, payload = await codec.read_frame(reader)
+                except (NetworkError, ConnectionError, asyncio.TimeoutError):
+                    return  # peer went away or sent garbage; drop quietly
+                try:
+                    done = await self._dispatch(frame_type, payload, writer)
+                except ConnectionError:
+                    return
+                if done:
+                    return
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _dispatch(
+        self, frame_type: int, payload: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one frame; returns True when the connection must close."""
+        if frame_type == codec.DATA:
+            return await self._data(payload, writer)
+        if frame_type == codec.HELLO:
+            await codec.write_frame(
+                writer, codec.OK, codec.encode_value({"party": self.party})
+            )
+            return False
+        if frame_type == codec.FETCH:
+            view = [asdict(record) for record in self.records]
+            await codec.write_frame(writer, codec.VIEW, codec.encode_value(view))
+            return False
+        await codec.write_frame(
+            writer,
+            codec.ERROR,
+            codec.encode_value(
+                {"error": f"unexpected frame type 0x{frame_type:02x}"}
+            ),
+        )
+        return False
+
+    async def _data(self, payload: bytes, writer: asyncio.StreamWriter) -> bool:
+        if (
+            self._max_messages is not None
+            and len(self.records) >= self._max_messages
+        ):
+            # Injected fault: die without acknowledging, refuse reconnects.
+            if self._server is not None:
+                self._server.close()
+                self._server = None
+            writer.transport.abort()
+            return True
+        try:
+            sequence, sender, receiver, kind, _body = codec.decode_envelope(
+                payload
+            )
+        except Exception as exc:  # malformed payload: report, keep serving
+            await codec.write_frame(
+                writer,
+                codec.ERROR,
+                codec.encode_value({"error": f"undecodable envelope: {exc}"}),
+            )
+            return False
+        if receiver != self.party:
+            await codec.write_frame(
+                writer,
+                codec.ERROR,
+                codec.encode_value(
+                    {
+                        "error": (
+                            f"misdelivered message for {receiver!r} at "
+                            f"endpoint {self.party!r}"
+                        )
+                    }
+                ),
+            )
+            return False
+        record = RemoteRecord(
+            sequence=sequence,
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            wire_bytes=codec.FRAME_HEADER_BYTES + len(payload),
+        )
+        self.records.append(record)
+        if self._on_message is not None:
+            self._on_message(record)
+        await codec.write_frame(
+            writer,
+            codec.ACK,
+            codec.encode_value(
+                {"sequence": sequence, "wire_bytes": record.wire_bytes}
+            ),
+        )
+        return False

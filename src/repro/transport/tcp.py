@@ -1,0 +1,303 @@
+"""The TCP transport: protocol messages over real sockets.
+
+:class:`TcpTransport` implements the :class:`~repro.transport.base.Transport`
+contract on top of asyncio TCP streams.  Every ``send`` serializes the
+message with the binary codec, frames it, ships it to the *receiver's*
+endpoint (a :class:`~repro.transport.server.PartyServer`), and waits for
+the acknowledgement — so byte counts in the transcript are **actual wire
+bytes** and a dead or silent peer surfaces as a
+:class:`~repro.errors.NetworkError` instead of a hang.
+
+The protocols in :mod:`repro.core` are synchronous, so the transport
+owns a private event loop on a background thread and submits coroutines
+to it; callers never touch asyncio.
+
+Topology: parties whose endpoints are listed in ``endpoints`` are
+**remote** (typically started with ``repro serve`` in another process);
+any party registered without a listed endpoint gets a **locally hosted**
+endpoint on an ephemeral loopback port.  Either way every message
+crosses a real socket — loopback runs exercise the full codec,
+framing, and acknowledgement path.
+
+Failure semantics:
+
+* *Connecting* is retried with exponential backoff (it is idempotent).
+* Once a data frame may have reached the peer — any failure after the
+  write — the send fails **without retry**: the transcript is the object
+  of study, and a blind resend could record the same protocol message
+  twice at the receiver.  At-most-once, surfaced loudly.
+* An acknowledgement that does not arrive within ``io_timeout`` seconds
+  raises :class:`~repro.errors.NetworkError` mentioning the timeout.
+
+The message body a receiver-side protocol step consumes is the
+**decoded** round-trip of the encoded frame, never the sender's live
+object — a serialization gap cannot hide behind in-process object
+sharing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import NetworkError
+from repro.transport import codec
+from repro.transport.base import Message, Transport
+from repro.transport.server import PartyServer, RemoteRecord
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Connection retry and I/O deadline parameters."""
+
+    #: Connection attempts per delivery (>= 1).
+    attempts: int = 4
+    #: Backoff before retry i is ``base_delay * 2**i``, capped below.
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    #: Seconds to wait for a TCP connect to complete.
+    connect_timeout: float = 2.0
+    #: Seconds to wait for an acknowledgement or control response.
+    io_timeout: float = 10.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.max_delay, self.base_delay * (2 ** attempt))
+
+
+class TcpTransport(Transport):
+    """Transport over asyncio TCP sockets (one endpoint per party)."""
+
+    def __init__(
+        self,
+        endpoints: Mapping[str, tuple[str, int]] | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__()
+        self.retry = retry or RetryPolicy()
+        self._endpoints: dict[str, tuple[str, int]] = dict(endpoints or {})
+        self._host = host
+        self._servers: dict[str, PartyServer] = {}
+        self._streams: dict[
+            str, tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = {}
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-tcp-transport", daemon=True
+        )
+        self._thread.start()
+
+    # -- loop plumbing ----------------------------------------------------
+
+    def _run(self, coroutine) -> Any:
+        """Run one coroutine on the transport loop, from the caller thread."""
+        if self._closed:
+            coroutine.close()
+            raise NetworkError("transport is closed")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    # -- registration ------------------------------------------------------
+
+    def endpoint_of(self, party: str) -> tuple[str, int]:
+        if party not in self._endpoints:
+            raise NetworkError(f"no endpoint known for party {party!r}")
+        return self._endpoints[party]
+
+    def register(self, party: str) -> None:
+        """Register a party and verify its endpoint answers a handshake.
+
+        Parties without a configured endpoint get one hosted locally on
+        an ephemeral loopback port.
+        """
+        super().register(party)
+        if party not in self._endpoints:
+            server = PartyServer(party, host=self._host, port=0)
+            self._endpoints[party] = self._run(server.start())
+            self._servers[party] = server
+        self._run(self._handshake(party))
+
+    def local_server(self, party: str) -> PartyServer | None:
+        """The locally hosted endpoint for ``party``, if any."""
+        return self._servers.get(party)
+
+    # -- transmission -------------------------------------------------------
+
+    def send(self, sender: str, receiver: str, kind: str, body: Any) -> Message:
+        """Serialize, frame, transmit, and await the acknowledgement."""
+        self._require_parties(sender, receiver)
+        sequence = self._take_sequence()
+        payload = codec.encode_envelope(sequence, sender, receiver, kind, body)
+        frame = codec.build_frame(codec.DATA, payload)
+        ack = self._run(self._deliver(receiver, frame))
+        if not isinstance(ack, dict) or ack.get("sequence") != sequence:
+            raise NetworkError(
+                f"endpoint {receiver!r} acknowledged the wrong message "
+                f"(expected #{sequence}, got {ack!r})"
+            )
+        # The recorded body is the decoded wire payload: whatever the
+        # receiver could reconstruct is what the transcript carries.
+        _, _, _, _, decoded_body = codec.decode_envelope(payload)
+        return self._record(
+            sequence, sender, receiver, kind, decoded_body, len(frame)
+        )
+
+    def remote_view(self, party: str) -> list[RemoteRecord]:
+        """Fetch the view recorded at a party's endpoint (FETCH/VIEW)."""
+        if party not in self._parties:
+            raise NetworkError(f"unknown party {party!r}")
+        response = self._run(
+            self._request(party, codec.FETCH, {}, expect=codec.VIEW)
+        )
+        return [RemoteRecord(**record) for record in response]
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close connections, stop hosted endpoints, stop the loop."""
+        if self._closed:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
+        future.result(timeout=10)
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    async def _shutdown(self) -> None:
+        for _, writer in self._streams.values():
+            writer.close()
+        self._streams.clear()
+        for server in self._servers.values():
+            await server.stop()
+
+    # -- connection management (runs on the transport loop) ----------------
+
+    async def _connect(
+        self, party: str
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Cached stream to a party, or a fresh connection (one attempt)."""
+        cached = self._streams.get(party)
+        if cached is not None:
+            return cached
+        host, port = self.endpoint_of(party)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.retry.connect_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise NetworkError(
+                f"connect to {party!r} at {host}:{port} timed out after "
+                f"{self.retry.connect_timeout}s"
+            ) from exc
+        self._streams[party] = (reader, writer)
+        return reader, writer
+
+    def _drop_stream(self, party: str) -> None:
+        cached = self._streams.pop(party, None)
+        if cached is not None:
+            cached[1].close()
+
+    async def _deliver(self, party: str, frame: bytes) -> Any:
+        """Send one DATA frame; returns the decoded acknowledgement."""
+        last_error: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                await asyncio.sleep(self.retry.delay(attempt - 1))
+            try:
+                reader, writer = await self._connect(party)
+            except (ConnectionError, OSError, NetworkError) as exc:
+                last_error = exc  # connecting is idempotent: retry
+                continue
+            try:
+                writer.write(frame)
+                await writer.drain()
+                frame_type, payload = await codec.read_frame(
+                    reader, self.retry.io_timeout
+                )
+            except asyncio.TimeoutError as exc:
+                self._drop_stream(party)
+                raise NetworkError(
+                    f"timed out after {self.retry.io_timeout}s waiting for "
+                    f"{party!r} to acknowledge"
+                ) from exc
+            except (ConnectionError, OSError, NetworkError) as exc:
+                # The frame may have reached the peer: no blind resend.
+                self._drop_stream(party)
+                raise NetworkError(
+                    f"connection to {party!r} failed mid-delivery: {exc}"
+                ) from exc
+            return self._control_payload(party, frame_type, payload, codec.ACK)
+        host, port = self.endpoint_of(party)
+        raise NetworkError(
+            f"cannot reach {party!r} at {host}:{port} after "
+            f"{self.retry.attempts} attempts: {last_error}"
+        )
+
+    async def _request(
+        self, party: str, frame_type: int, body: Any, expect: int
+    ) -> Any:
+        """One idempotent control round-trip (HELLO, FETCH), with retries."""
+        last_error: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                await asyncio.sleep(self.retry.delay(attempt - 1))
+            try:
+                reader, writer = await self._connect(party)
+                await codec.write_frame(
+                    writer, frame_type, codec.encode_value(body)
+                )
+                response_type, payload = await codec.read_frame(
+                    reader, self.retry.io_timeout
+                )
+            except asyncio.TimeoutError as exc:
+                self._drop_stream(party)
+                raise NetworkError(
+                    f"timed out after {self.retry.io_timeout}s waiting for "
+                    f"a control response from {party!r}"
+                ) from exc
+            except (ConnectionError, OSError, NetworkError) as exc:
+                self._drop_stream(party)
+                last_error = exc
+                continue
+            return self._control_payload(party, response_type, payload, expect)
+        host, port = self.endpoint_of(party)
+        raise NetworkError(
+            f"cannot reach {party!r} at {host}:{port} after "
+            f"{self.retry.attempts} attempts: {last_error}"
+        )
+
+    def _control_payload(
+        self, party: str, frame_type: int, payload: bytes, expect: int
+    ) -> Any:
+        value = codec.decode_value(payload)
+        if frame_type == codec.ERROR:
+            detail = value.get("error") if isinstance(value, dict) else value
+            raise NetworkError(f"endpoint {party!r} reported: {detail}")
+        if frame_type != expect:
+            raise NetworkError(
+                f"endpoint {party!r} answered with unexpected frame type "
+                f"0x{frame_type:02x}"
+            )
+        return value
+
+    async def _handshake(self, party: str) -> None:
+        response = await self._request(
+            party, codec.HELLO, {"party": party}, expect=codec.OK
+        )
+        answered = response.get("party") if isinstance(response, dict) else None
+        if answered != party:
+            host, port = self.endpoint_of(party)
+            raise NetworkError(
+                f"endpoint at {host}:{port} identifies as {answered!r}, "
+                f"expected {party!r}"
+            )

@@ -1,5 +1,10 @@
 """Failure injection: the protocols must fail closed, not fabricate data."""
 
+import asyncio
+import socket
+import threading
+import time
+
 import pytest
 
 from repro import Federation, run_join_query, setup_client
@@ -13,10 +18,12 @@ from repro.errors import (
     CredentialError,
     EncodingError,
     IntegrityError,
+    NetworkError,
 )
 from repro.mediation.access_control import allow_all, require
 from repro.mediation.credentials import Credential
 from repro.relational.datagen import WorkloadSpec, generate
+from repro.transport import PartyServer, RetryPolicy, TcpTransport
 
 QUERY = "select * from R1 natural join R2"
 
@@ -130,6 +137,137 @@ class TestProtocolMisconfiguration:
         federation.attach_client(tiny_client)
         with pytest.raises(EncodingError):
             run_join_query(federation, QUERY, protocol="private-matching")
+
+
+#: Fast-failing policy so the fault tests finish in well under a second
+#: per injected failure while still exercising two backoff sleeps.
+FAST = RetryPolicy(
+    attempts=3, base_delay=0.01, max_delay=0.05, connect_timeout=0.5,
+    io_timeout=0.5,
+)
+
+
+class _MuteEndpoint:
+    """A listener that accepts connections and never answers anything."""
+
+    def __init__(self) -> None:
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen()
+        self._listener.settimeout(0.1)
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept, daemon=True)
+        self._thread.start()
+
+    def _accept(self) -> None:
+        held = []
+        while not self._stop.is_set():
+            try:
+                held.append(self._listener.accept()[0])
+            except OSError:
+                continue
+        for connection in held:
+            connection.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join()
+        self._listener.close()
+
+
+class _ThreadedEndpoint:
+    """A real PartyServer hosted on its own event-loop thread, so a
+    fault (``max_messages``) can be injected into a 'remote' party."""
+
+    def __init__(self, party: str, *, max_messages: int | None = None) -> None:
+        self.server = PartyServer(party, max_messages=max_messages)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        self._thread.start()
+        self.address = asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result()
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        ).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+
+class TestTransportFaults:
+    """Socket-level faults surface as NetworkError — with the retry and
+    backoff machinery exercised — and never hang the protocol run."""
+
+    def test_never_answering_datasource_times_out(self, ca, workload):
+        mute = _MuteEndpoint()
+        transport = TcpTransport(
+            endpoints={"S1": ("127.0.0.1", mute.port)}, retry=FAST
+        )
+        try:
+            federation = Federation(ca=ca, network=transport)
+            started = time.perf_counter()
+            with pytest.raises(NetworkError, match="timed out"):
+                federation.add_source(
+                    "S1", [(workload.relation_1, allow_all())]
+                )
+            elapsed = time.perf_counter() - started
+            assert elapsed >= FAST.io_timeout  # really waited the deadline
+            assert elapsed < 10  # ... and did not hang
+        finally:
+            transport.close()
+            mute.close()
+
+    def test_connection_refused_exhausts_retries_with_backoff(
+        self, ca, workload
+    ):
+        with socket.socket() as probe:  # a port nothing listens on
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        transport = TcpTransport(
+            endpoints={"S2": ("127.0.0.1", dead_port)}, retry=FAST
+        )
+        try:
+            federation = Federation(ca=ca, network=transport)
+            federation.add_source("S1", [(workload.relation_1, allow_all())])
+            started = time.perf_counter()
+            with pytest.raises(NetworkError, match="after 3 attempts"):
+                federation.add_source(
+                    "S2", [(workload.relation_2, allow_all())]
+                )
+            # Two backoff sleeps happened: 0.01 + 0.02 seconds.
+            assert time.perf_counter() - started >= 0.03
+        finally:
+            transport.close()
+
+    def test_mediator_dying_mid_protocol(self, ca, client, workload):
+        """The mediator's endpoint aborts (without acknowledging) after
+        two protocol messages: the sender must raise, not resend or
+        hang, and the transcript stops at the point of death."""
+        dying = _ThreadedEndpoint("mediator", max_messages=2)
+        transport = TcpTransport(
+            endpoints={"mediator": dying.address}, retry=FAST
+        )
+        try:
+            federation = Federation(ca=ca, network=transport)
+            federation.add_source("S1", [(workload.relation_1, allow_all())])
+            federation.add_source("S2", [(workload.relation_2, allow_all())])
+            federation.attach_client(client)
+            with pytest.raises(NetworkError):
+                run_join_query(federation, QUERY, protocol="commutative")
+            delivered = [
+                m for m in federation.network.transcript
+                if m.receiver == "mediator"
+            ]
+            assert len(delivered) == 2  # nothing past the injected fault
+        finally:
+            transport.close()
+            dying.close()
 
 
 class TestDASServerQueryRobustness:

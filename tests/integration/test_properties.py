@@ -19,6 +19,7 @@ from repro.mediation.access_control import allow_all
 from repro.relational.algebra import natural_join
 from repro.relational.relation import Relation
 from repro.relational.schema import schema
+from repro.transport import codec
 
 S1 = schema("R1", k="int", a="string")
 S2 = schema("R2", k="int", b="string")
@@ -45,6 +46,24 @@ def run_on(ca, client, rows_1, rows_2, protocol, config):
     federation.attach_client(client)
     result = run_join_query(federation, QUERY, protocol=protocol, config=config)
     assert result.global_result == natural_join(r1, r2)
+    # Wire invariant: every message the protocol produced survives a
+    # codec round-trip unchanged, so a TCP run would carry it faithfully.
+    for message in federation.network.transcript:
+        encoded = codec.encode_envelope(
+            message.sequence,
+            message.sender,
+            message.receiver,
+            message.kind,
+            message.body,
+        )
+        decoded = codec.decode_envelope(encoded)
+        assert decoded == (
+            message.sequence,
+            message.sender,
+            message.receiver,
+            message.kind,
+            message.body,
+        )
     return result
 
 
