@@ -47,6 +47,7 @@ from repro.core.result import MediationResult
 from repro.core.timing import timed
 from repro.crypto import commutative as comm
 from repro.crypto import groups, hybrid
+from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.hashes import IdealHash
 from repro.crypto.instrumentation import count_primitives
 from repro.errors import ProtocolError
@@ -98,29 +99,42 @@ def _prepare_source(
     ideal_hash: IdealHash,
     client_keys,
     config: CommutativeConfig,
+    engine: CryptoEngine | None = None,
 ) -> tuple[_SourceState, list[TaggedMessage]]:
     """Listing 3 steps 1-3 at one datasource."""
+    engine = engine or get_engine()
     if config.verify_group and not group.verify():
         raise ProtocolError("announced commutative group failed verification")
     key = comm.generate_key(group)
-    messages = []
-    tuple_ciphertexts: dict[JoinKey, hybrid.HybridCiphertext] = {}
-    for join_key, rows in group_by_key(relation, join_attributes).items():
-        tag = comm.apply(key, ideal_hash(encode_key(join_key)))
-        ciphertext = hybrid.encrypt(client_keys, encode_rows(rows))
-        tuple_ciphertexts[join_key] = ciphertext
-        messages.append(TaggedMessage(tag=tag, payload=ciphertext))
+    grouped = group_by_key(relation, join_attributes)
+    join_keys = list(grouped)
+    # One batch per round: hash every active join value into QR_p, tag
+    # them under the source key, and hybrid-encrypt every tuple set.
+    hashed = [ideal_hash(encode_key(join_key)) for join_key in join_keys]
+    tags = engine.batch_commutative_encrypt(key, hashed)
+    ciphertexts = engine.batch_hybrid_encrypt(
+        client_keys, [encode_rows(grouped[join_key]) for join_key in join_keys]
+    )
+    tuple_ciphertexts = dict(zip(join_keys, ciphertexts))
+    messages = [
+        TaggedMessage(tag=tag, payload=ciphertext)
+        for tag, ciphertext in zip(tags, ciphertexts)
+    ]
     return _SourceState(key, tuple_ciphertexts), _shuffled(messages)
 
 
 def _double_encrypt(
-    messages: list[TaggedMessage], key: comm.CommutativeKey
+    messages: list[TaggedMessage],
+    key: comm.CommutativeKey,
+    engine: CryptoEngine | None = None,
 ) -> list[TaggedMessage]:
     """Listing 3 steps 5/6 at one datasource: apply the own key on top."""
+    engine = engine or get_engine()
+    tags = engine.batch_commutative_encrypt(key, [m.tag for m in messages])
     return _shuffled(
         [
-            TaggedMessage(tag=comm.apply(key, message.tag), payload=message.payload)
-            for message in messages
+            TaggedMessage(tag=tag, payload=message.payload)
+            for tag, message in zip(tags, messages)
         ]
     )
 
@@ -129,9 +143,11 @@ def run_commutative_delivery(
     federation: Federation,
     outcome: RequestPhaseOutcome,
     config: CommutativeConfig | None = None,
+    engine: CryptoEngine | None = None,
 ) -> MediationResult:
     """Execute the commutative delivery phase (Listing 3) over the bus."""
     config = config or CommutativeConfig()
+    engine = engine or get_engine()
     client = federation.require_client()
     mediator_name = federation.mediator.name
     network = federation.network
@@ -180,6 +196,7 @@ def run_commutative_delivery(
                     ideal_hash,
                     client_keys,
                     config,
+                    engine,
                 )
             states[source_name] = state
             message_sets[source_name] = messages
@@ -208,10 +225,14 @@ def run_commutative_delivery(
 
         # Steps 5-6: sources double-encrypt and return.
         with timed(result, source_1, "double_encrypt"):
-            response_1 = _double_encrypt(forwarded_to_1, states[source_1].key)
+            response_1 = _double_encrypt(
+                forwarded_to_1, states[source_1].key, engine
+            )
         network.send(source_1, mediator_name, "commutative_double", response_1)
         with timed(result, source_2, "double_encrypt"):
-            response_2 = _double_encrypt(forwarded_to_2, states[source_2].key)
+            response_2 = _double_encrypt(
+                forwarded_to_2, states[source_2].key, engine
+            )
         network.send(source_2, mediator_name, "commutative_double", response_2)
 
         # Step 7: the mediator matches identical first components.
@@ -238,14 +259,16 @@ def run_commutative_delivery(
 
         # Step 8: the client decrypts and constructs the global result.
         with timed(result, client.name, "decrypt_and_combine"):
+            plaintexts_1 = client.decrypt_hybrid_many(
+                [pair[0] for pair in result_messages], engine=engine
+            )
+            plaintexts_2 = client.decrypt_hybrid_many(
+                [pair[1] for pair in result_messages], engine=engine
+            )
             matched = []
-            for ciphertext_1, ciphertext_2 in result_messages:
-                rows_1 = decode_rows(
-                    client.decrypt_hybrid(ciphertext_1), relation_1.schema
-                )
-                rows_2 = decode_rows(
-                    client.decrypt_hybrid(ciphertext_2), relation_2.schema
-                )
+            for plaintext_1, plaintext_2 in zip(plaintexts_1, plaintexts_2):
+                rows_1 = decode_rows(plaintext_1, relation_1.schema)
+                rows_2 = decode_rows(plaintext_2, relation_2.schema)
                 probe = Relation(relation_1.schema, rows_1)
                 join_key = key_of(probe, rows_1[0], outcome.join_attributes)
                 matched.append((join_key, rows_1, rows_2))

@@ -42,6 +42,7 @@ from repro.core.request import RequestPhaseOutcome
 from repro.core.result import MediationResult
 from repro.core.timing import timed
 from repro.crypto import hybrid
+from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.instrumentation import count_primitives
 from repro.errors import ProtocolError
 from repro.mediation.credentials import public_keys_of
@@ -179,8 +180,10 @@ def _encrypt_source(
     attribute: str,
     config: DASConfig,
     client_keys,
+    engine: CryptoEngine | None = None,
 ) -> _SourceState:
     """Steps 1-2 at one datasource."""
+    engine = engine or get_engine()
     if attribute in config.mixed_plaintext_attributes:
         raise ProtocolError(
             "the join attribute must remain sensitive in the mixed DAS model"
@@ -191,18 +194,22 @@ def _encrypt_source(
         f"{relation.name}.{attribute}", partitions, salt=secrets.token_bytes(16)
     )
     sensitive_positions, plain_positions = _mixed_split(relation.schema, config)
-    encrypted_rows = []
-    for row in relation:
-        sensitive_part = tuple(row[i] for i in sensitive_positions)
-        etuple = hybrid.encrypt(client_keys, encode_row(sensitive_part))
-        index_value = index_table.index_of(relation.value(row, attribute))
-        encrypted_rows.append(
-            EncryptedTuple(
-                etuple,
-                index_value,
-                plain_values=tuple(row[i] for i in plain_positions),
-            )
+    rows = list(relation)
+    etuples = engine.batch_hybrid_encrypt(
+        client_keys,
+        [
+            encode_row(tuple(row[i] for i in sensitive_positions))
+            for row in rows
+        ],
+    )
+    encrypted_rows = [
+        EncryptedTuple(
+            etuple,
+            index_table.index_of(relation.value(row, attribute)),
+            plain_values=tuple(row[i] for i in plain_positions),
         )
+        for row, etuple in zip(rows, etuples)
+    ]
     encrypted_relation = EncryptedRelation(
         source=source_name,
         relation_name=relation.name,
@@ -241,8 +248,20 @@ def _evaluate_server_query(
     return ServerResult(pairs=tuple(pairs))
 
 
-def _row_decryptor(client, schema: Schema, config: DASConfig):
-    """Build a per-schema decryptor that reassembles mixed-model rows."""
+def _row_decryptor(
+    client,
+    schema: Schema,
+    config: DASConfig,
+    encrypted_tuples: list[EncryptedTuple] | None = None,
+    engine: CryptoEngine | None = None,
+):
+    """Build a per-schema decryptor that reassembles mixed-model rows.
+
+    When ``encrypted_tuples`` is given, their distinct etuples are
+    decrypted up front as one engine batch and the per-tuple decryptor
+    becomes a cache lookup (a selected tuple typically appears in many
+    server-result pairs, so the cache also deduplicates work).
+    """
     sensitive_positions, plain_positions = _mixed_split(schema, config)
     sensitive_schema = Schema(
         schema.relation_name,
@@ -250,18 +269,33 @@ def _row_decryptor(client, schema: Schema, config: DASConfig):
     )
     cache: dict[int, Row] = {}
 
+    def merge(encrypted: EncryptedTuple, plaintext: bytes) -> Row:
+        sensitive_part = decode_row(plaintext, sensitive_schema)
+        merged: list = [None] * len(schema)
+        for value, position in zip(sensitive_part, sensitive_positions):
+            merged[position] = value
+        for value, position in zip(encrypted.plain_values, plain_positions):
+            merged[position] = value
+        return tuple(merged)
+
+    if encrypted_tuples:
+        distinct: dict[int, EncryptedTuple] = {}
+        for encrypted in encrypted_tuples:
+            distinct.setdefault(id(encrypted), encrypted)
+        plaintexts = client.decrypt_hybrid_many(
+            [encrypted.etuple for encrypted in distinct.values()], engine=engine
+        )
+        for (cache_key, encrypted), plaintext in zip(
+            distinct.items(), plaintexts
+        ):
+            cache[cache_key] = merge(encrypted, plaintext)
+
     def decrypt_row(encrypted: EncryptedTuple) -> Row:
         cache_key = id(encrypted)
         if cache_key not in cache:
-            sensitive_part = decode_row(
-                client.decrypt_hybrid(encrypted.etuple), sensitive_schema
+            cache[cache_key] = merge(
+                encrypted, client.decrypt_hybrid(encrypted.etuple)
             )
-            merged: list = [None] * len(schema)
-            for value, position in zip(sensitive_part, sensitive_positions):
-                merged[position] = value
-            for value, position in zip(encrypted.plain_values, plain_positions):
-                merged[position] = value
-            cache[cache_key] = tuple(merged)
         return cache[cache_key]
 
     return decrypt_row
@@ -274,6 +308,7 @@ def _client_postprocess(
     schema_2: Schema,
     join_attributes: tuple[str, ...],
     config: DASConfig,
+    engine: CryptoEngine | None = None,
 ) -> tuple[Relation, int]:
     """Step 7 at the client: decrypt R_C, apply q_C, build the result.
 
@@ -293,8 +328,20 @@ def _client_postprocess(
     result_schema = schema_1.join_schema(
         schema_2, f"{schema_1.relation_name}_join_{schema_2.relation_name}"
     )
-    decrypt_1 = _row_decryptor(client, schema_1, config)
-    decrypt_2 = _row_decryptor(client, schema_2, config)
+    decrypt_1 = _row_decryptor(
+        client,
+        schema_1,
+        config,
+        [pair[0] for pair in server_result.pairs],
+        engine,
+    )
+    decrypt_2 = _row_decryptor(
+        client,
+        schema_2,
+        config,
+        [pair[1] for pair in server_result.pairs],
+        engine,
+    )
 
     rows: list[Row] = []
     false_positives = 0
@@ -316,9 +363,11 @@ def run_das_delivery(
     federation: Federation,
     outcome: RequestPhaseOutcome,
     config: DASConfig | None = None,
+    engine: CryptoEngine | None = None,
 ) -> MediationResult:
     """Execute the DAS delivery phase (Listing 2) over the message bus."""
     config = config or DASConfig()
+    engine = engine or get_engine()
     if len(outcome.join_attributes) != 1:
         raise ProtocolError(
             "the DAS delivery phase supports exactly one join attribute; "
@@ -371,6 +420,7 @@ def run_das_delivery(
                     attribute,
                     config,
                     client_keys,
+                    engine,
                 )
             states[source_name] = state
             if config.setting == CLIENT_SETTING:
@@ -476,6 +526,7 @@ def run_das_delivery(
                 schema_2,
                 outcome.join_attributes,
                 config,
+                engine,
             )
 
     result.global_result = global_result

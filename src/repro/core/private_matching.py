@@ -50,6 +50,7 @@ from repro.core.request import RequestPhaseOutcome
 from repro.core.result import MediationResult
 from repro.core.timing import timed
 from repro.crypto import hybrid
+from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.homomorphic import AdditiveHomomorphicScheme
 from repro.crypto.instrumentation import count_primitives, record
 from repro.crypto.polynomial import (
@@ -119,10 +120,15 @@ def _evaluate_for_source(
     config: PMConfig,
     scheme: AdditiveHomomorphicScheme,
     public_key: Any,
+    engine: CryptoEngine | None = None,
 ) -> list[Any]:
     """Listing 4 steps 5/6: E(r * P_other(a) + (a || payload)) per value."""
+    engine = engine or get_engine()
     modulus = scheme.plaintext_bound(public_key)
-    evaluations = []
+    # Payload encoding and mask drawing stay in the protocol driver (the
+    # masks are protocol randomness); the expensive oblivious Horner
+    # evaluations run as one engine batch.
+    jobs = []
     for join_key in state.keys:
         root = key_to_int(join_key, config.max_key_bytes)
         rows = state.groups[join_key]
@@ -140,9 +146,8 @@ def _evaluate_for_source(
         payload = encode_payload(join_key, body, modulus)
         record("random.pm_mask")
         mask = 1 + secrets.randbelow(modulus - 1)
-        evaluations.append(
-            encrypted_polynomial.masked_evaluate(root, mask, payload)
-        )
+        jobs.append((root, mask, payload))
+    evaluations = engine.batch_poly_eval(encrypted_polynomial, jobs)
     # "Arbitrarily ordered": the order must not reveal the value order.
     random.SystemRandom().shuffle(evaluations)
     return evaluations
@@ -154,11 +159,13 @@ def _client_decrypt_side(
     side_table: dict[bytes, bytes],
     schema,
     config: PMConfig,
+    engine: CryptoEngine | None = None,
 ) -> dict[JoinKey, tuple[Row, ...]]:
     """Listing 4 step 8 (one side): recover the surviving tuple sets."""
+    engine = engine or get_engine()
     recovered: dict[JoinKey, tuple[Row, ...]] = {}
-    for ciphertext in evaluations:
-        plaintext = client.decrypt_homomorphic(ciphertext)
+    plaintexts = client.decrypt_homomorphic_many(evaluations, engine=engine)
+    for plaintext in plaintexts:
         payload = decode_payload(plaintext)
         if payload is None:
             continue  # a masked non-match: random value, correctly rejected
@@ -182,9 +189,11 @@ def run_private_matching_delivery(
     federation: Federation,
     outcome: RequestPhaseOutcome,
     config: PMConfig | None = None,
+    engine: CryptoEngine | None = None,
 ) -> MediationResult:
     """Execute the private-matching delivery phase (Listing 4)."""
     config = config or PMConfig()
+    engine = engine or get_engine()
     client = federation.require_client()
     if client.homomorphic_scheme is None:
         raise ProtocolError(
@@ -234,7 +243,7 @@ def run_private_matching_delivery(
                     config.max_key_bytes,
                 )
                 encrypted = encrypt_polynomial(
-                    scheme, public_key, plain_coefficients
+                    scheme, public_key, plain_coefficients, engine=engine
                 )
             states[source_name] = state
             coefficients[source_name] = encrypted
@@ -269,6 +278,7 @@ def run_private_matching_delivery(
                     config,
                     scheme,
                     public_key,
+                    engine,
                 )
             network.send(
                 source_name, mediator_name, "pm_evaluations",
@@ -307,6 +317,7 @@ def run_private_matching_delivery(
                 side_tables[source_1],
                 relation_1.schema,
                 config,
+                engine,
             )
             recovered_2 = _client_decrypt_side(
                 client,
@@ -314,6 +325,7 @@ def run_private_matching_delivery(
                 side_tables[source_2],
                 relation_2.schema,
                 config,
+                engine,
             )
             matched = [
                 (join_key, recovered_1[join_key], recovered_2[join_key])

@@ -17,6 +17,7 @@ from repro.core.federation import Federation
 from repro.core.private_matching import PMConfig, run_private_matching_delivery
 from repro.core.request import RequestPhaseOutcome, run_request_phase
 from repro.core.result import MediationResult
+from repro.crypto.engine import CryptoEngine
 from repro.errors import ProtocolError
 from repro.relational.algebra import evaluate_above_join
 from repro.relational.relation import Relation
@@ -34,6 +35,7 @@ def run_join_query(
     query: str,
     protocol: str = "commutative",
     config: Any = None,
+    engine: CryptoEngine | None = None,
 ) -> MediationResult:
     """Run a global join query end to end under the named protocol.
 
@@ -42,7 +44,8 @@ def run_join_query(
     efficient one"), or ``"private-matching"``.  ``config`` is the
     protocol's config dataclass (:class:`DASConfig`,
     :class:`CommutativeConfig`, or :class:`PMConfig`) or None for
-    defaults.
+    defaults.  ``engine`` selects the crypto execution engine (serial,
+    pooled, or legacy); None uses the process-wide installed engine.
     """
     if protocol not in PROTOCOLS:
         raise ProtocolError(
@@ -55,7 +58,7 @@ def run_join_query(
             f"got {type(config).__name__}"
         )
     outcome = run_request_phase(federation, query)
-    result = delivery(federation, outcome, config)
+    result = delivery(federation, outcome, config, engine=engine)
     # The protocols deliver the JOIN; remaining operators of the global
     # query (selection, projection) are the client's local post-work.
     tree = outcome.decomposition.tree

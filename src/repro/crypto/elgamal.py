@@ -68,15 +68,55 @@ def _fresh_nonce(q: int) -> int:
     return 1 + secrets.randbelow(q - 1)
 
 
-def encrypt(public_key: ElGamalPublicKey, message: int) -> ElGamalCiphertext:
+@dataclass(frozen=True)
+class ElGamalPrecomputation:
+    """Fixed-base tables for the two per-encryption exponentiations.
+
+    Every ElGamal encryption computes ``g^r`` and ``h^r`` for the *same*
+    ``g`` and ``h``; :func:`precompute` builds windowed tables (see
+    :class:`repro.crypto.engine.FixedBaseTable`) that replace both full
+    ladders with a handful of modular multiplications.  The trade-off is
+    memory — roughly ``2 * 2^window * |p|^2 / (8 * window)`` bytes per
+    key — which is why tables are built explicitly, not on first use.
+    """
+
+    public_key: ElGamalPublicKey
+    g_table: object
+    h_table: object
+
+
+def precompute(public_key: ElGamalPublicKey, window: int = 5) -> ElGamalPrecomputation:
+    """Build fixed-base tables for ``public_key``'s ``g`` and ``h``."""
+    from repro.crypto.engine import FixedBaseTable
+
+    group = public_key.group
+    bits = group.q.bit_length()
+    return ElGamalPrecomputation(
+        public_key=public_key,
+        g_table=FixedBaseTable(public_key.g, group.p, bits, window),
+        h_table=FixedBaseTable(public_key.h, group.p, bits, window),
+    )
+
+
+def encrypt(
+    public_key: ElGamalPublicKey,
+    message: int,
+    precomputation: ElGamalPrecomputation | None = None,
+) -> ElGamalCiphertext:
     """Multiplicative ElGamal; ``message`` must be an element of QR_p."""
     group = public_key.group
     if not group.contains(message):
         raise EncryptionError("message is not in the QR_p message space")
+    if precomputation is not None and precomputation.public_key != public_key:
+        raise KeyError_("precomputation tables built for a different key")
     instrumentation.record("elgamal.encrypt")
     r = _fresh_nonce(group.q)
-    c1 = pow(public_key.g, r, group.p)
-    c2 = message * pow(public_key.h, r, group.p) % group.p
+    if precomputation is None:
+        c1 = pow(public_key.g, r, group.p)
+        c2 = message * pow(public_key.h, r, group.p) % group.p
+    else:
+        c1 = precomputation.g_table.pow(r)
+        c2 = message * precomputation.h_table.pow(r) % group.p
     return ElGamalCiphertext(c1, c2, public_key)
 
 

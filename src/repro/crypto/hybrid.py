@@ -64,6 +64,7 @@ def decrypt(
     private_key: rsa.RSAPrivateKey,
     ciphertext: HybridCiphertext,
     associated_data: bytes = b"",
+    use_crt: bool = True,
 ) -> bytes:
     """Unwrap the session key with ``private_key`` and decrypt the body."""
     instrumentation.record("hybrid.decrypt")
@@ -71,7 +72,7 @@ def decrypt(
     wrapped = ciphertext.wrapped_keys.get(fp)
     if wrapped is None:
         raise DecryptionError("no session key wrapped for this private key")
-    session_key = rsa.oaep_decrypt(private_key, wrapped)
+    session_key = rsa.oaep_decrypt(private_key, wrapped, use_crt)
     return symmetric.decrypt(session_key, ciphertext.body, associated_data)
 
 

@@ -116,10 +116,22 @@ def encrypt_polynomial(
     scheme: AdditiveHomomorphicScheme,
     public_key: Any,
     coefficients: Sequence[int],
+    engine: Any = None,
 ) -> EncryptedPolynomial:
-    """Encrypt each coefficient of a plaintext polynomial."""
+    """Encrypt each coefficient of a plaintext polynomial.
+
+    ``engine`` is an optional :class:`repro.crypto.engine.CryptoEngine`;
+    when given, the coefficients encrypt as one (possibly parallel)
+    batch instead of a scalar loop.
+    """
     instrumentation.record("homomorphic.encrypt_polynomial")
-    encrypted = tuple(
-        scheme.encrypt(public_key, coefficient) for coefficient in coefficients
-    )
+    if engine is None:
+        encrypted = tuple(
+            scheme.encrypt(public_key, coefficient)
+            for coefficient in coefficients
+        )
+    else:
+        encrypted = tuple(
+            engine.batch_scheme_encrypt(scheme, public_key, coefficients)
+        )
     return EncryptedPolynomial(scheme, public_key, encrypted)

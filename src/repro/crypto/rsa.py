@@ -18,6 +18,7 @@ import hashlib
 import hmac
 import secrets
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.crypto import instrumentation
 from repro.crypto.numtheory import (
@@ -50,7 +51,7 @@ class RSAPublicKey:
 
 @dataclass(frozen=True)
 class RSAPrivateKey:
-    """RSA private key; keeps the factorisation for CRT-free simplicity."""
+    """RSA private key; keeps the factorisation for CRT acceleration."""
 
     n: int
     e: int
@@ -60,6 +61,29 @@ class RSAPrivateKey:
 
     def public_key(self) -> RSAPublicKey:
         return RSAPublicKey(self.n, self.e)
+
+
+@lru_cache(maxsize=128)
+def _crt_exponents(d: int, p: int, q: int) -> tuple[int, int, int]:
+    """``(d mod p-1, d mod q-1, q^-1 mod p)`` for Garner recombination."""
+    return d % (p - 1), d % (q - 1), modinv(q, p)
+
+
+def private_pow(private_key: RSAPrivateKey, value: int, use_crt: bool = True) -> int:
+    """The private-key operation ``value^d mod n``.
+
+    By default runs in CRT form — two half-size exponentiations mod
+    ``p`` and ``q`` plus a Garner step, a 3-4x speedup over the direct
+    route.  ``use_crt=False`` forces the direct exponentiation (the
+    pre-engine behaviour, kept for the legacy benchmark baseline and as
+    an equivalence reference in tests).
+    """
+    if not use_crt:
+        return pow(value, private_key.d, private_key.n)
+    d_p, d_q, q_inv = _crt_exponents(private_key.d, private_key.p, private_key.q)
+    m_p = pow(value % private_key.p, d_p, private_key.p)
+    m_q = pow(value % private_key.q, d_q, private_key.q)
+    return m_q + (m_p - m_q) * q_inv % private_key.p * private_key.q
 
 
 def generate_keypair(bits: int = 2048, e: int = 65537) -> RSAPrivateKey:
@@ -114,7 +138,9 @@ def oaep_encrypt(public_key: RSAPublicKey, message: bytes) -> bytes:
     return int_to_bytes(pow(bytes_to_int(encoded), public_key.e, public_key.n), k)
 
 
-def oaep_decrypt(private_key: RSAPrivateKey, ciphertext: bytes) -> bytes:
+def oaep_decrypt(
+    private_key: RSAPrivateKey, ciphertext: bytes, use_crt: bool = True
+) -> bytes:
     """RSAES-OAEP decryption; raises :class:`DecryptionError` on failure."""
     instrumentation.record("rsa.decrypt")
     k = (private_key.n.bit_length() + 7) // 8
@@ -123,7 +149,7 @@ def oaep_decrypt(private_key: RSAPrivateKey, ciphertext: bytes) -> bytes:
     value = bytes_to_int(ciphertext)
     if value >= private_key.n:
         raise DecryptionError("ciphertext out of range")
-    encoded = int_to_bytes(pow(value, private_key.d, private_key.n), k)
+    encoded = int_to_bytes(private_pow(private_key, value, use_crt), k)
     first_byte, masked_seed = encoded[0], encoded[1:1 + _HASH_LEN]
     masked_db = encoded[1 + _HASH_LEN:]
     seed = _xor(masked_seed, _mgf1(masked_db, _HASH_LEN))
@@ -140,7 +166,9 @@ def oaep_decrypt(private_key: RSAPrivateKey, ciphertext: bytes) -> bytes:
     return rest[separator + 1:]
 
 
-def pss_sign(private_key: RSAPrivateKey, message: bytes) -> bytes:
+def pss_sign(
+    private_key: RSAPrivateKey, message: bytes, use_crt: bool = True
+) -> bytes:
     """RSASSA-PSS signature over ``message`` with SHA-256."""
     instrumentation.record("rsa.sign")
     k = (private_key.n.bit_length() + 7) // 8
@@ -157,7 +185,7 @@ def pss_sign(private_key: RSAPrivateKey, message: bytes) -> bytes:
     clear_bits = 8 * em_len - em_bits
     masked_db = bytes([masked_db[0] & (0xFF >> clear_bits)]) + masked_db[1:]
     encoded = masked_db + h + b"\xbc"
-    return int_to_bytes(pow(bytes_to_int(encoded), private_key.d, private_key.n), k)
+    return int_to_bytes(private_pow(private_key, bytes_to_int(encoded), use_crt), k)
 
 
 def pss_verify(public_key: RSAPublicKey, message: bytes, signature: bytes) -> bool:

@@ -14,9 +14,10 @@ The client owns
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.crypto import hybrid, rsa
+from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.homomorphic import AdditiveHomomorphicScheme, PaillierScheme
 from repro.crypto.hybrid import HybridCiphertext, key_fingerprint
 from repro.errors import CredentialError, DecryptionError
@@ -48,6 +49,42 @@ class Client:
             f"client {self.name} holds no key for this hybrid ciphertext"
         )
 
+    def decrypt_hybrid_many(
+        self,
+        ciphertexts: Sequence[HybridCiphertext],
+        associated_data: bytes = b"",
+        engine: CryptoEngine | None = None,
+    ) -> list[bytes]:
+        """Batch :meth:`decrypt_hybrid` through the crypto engine.
+
+        Ciphertexts are grouped by the private key that unwraps them so
+        each group decrypts in one engine batch; the result list keeps
+        the input order.
+        """
+        engine = engine or get_engine()
+        by_key: dict[bytes, tuple[rsa.RSAPrivateKey, list[int]]] = {}
+        for position, ciphertext in enumerate(ciphertexts):
+            for fingerprint, private_key in self.rsa_keys.items():
+                if fingerprint in ciphertext.wrapped_keys:
+                    by_key.setdefault(fingerprint, (private_key, []))[1].append(
+                        position
+                    )
+                    break
+            else:
+                raise DecryptionError(
+                    f"client {self.name} holds no key for this hybrid ciphertext"
+                )
+        plaintexts: list[bytes | None] = [None] * len(ciphertexts)
+        for private_key, positions in by_key.values():
+            decrypted = engine.batch_hybrid_decrypt(
+                private_key,
+                [ciphertexts[i] for i in positions],
+                associated_data,
+            )
+            for position, plaintext in zip(positions, decrypted):
+                plaintexts[position] = plaintext
+        return plaintexts  # type: ignore[return-value]
+
     # -- homomorphic key -----------------------------------------------------
 
     @property
@@ -65,6 +102,19 @@ class Client:
                 f"client {self.name} has no homomorphic key pair"
             )
         return self.homomorphic_scheme.decrypt(self.homomorphic_key, ciphertext)
+
+    def decrypt_homomorphic_many(
+        self, ciphertexts: Sequence[Any], engine: CryptoEngine | None = None
+    ) -> list[int]:
+        """Batch :meth:`decrypt_homomorphic` through the crypto engine."""
+        if self.homomorphic_scheme is None:
+            raise CredentialError(
+                f"client {self.name} has no homomorphic key pair"
+            )
+        engine = engine or get_engine()
+        return engine.batch_scheme_decrypt(
+            self.homomorphic_scheme, self.homomorphic_key, ciphertexts
+        )
 
     # -- credential selection --------------------------------------------------
 

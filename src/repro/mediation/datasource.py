@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto import rsa
+from repro.crypto.engine import CryptoEngine, get_engine
 from repro.errors import AccessDenied, CredentialError, QueryError
 from repro.mediation.access_control import AccessPolicy, allow_all
 from repro.mediation.ca import verify_credential
@@ -63,23 +64,30 @@ class DataSource:
         }
         self.relevant_property_names = self.relevant_property_names | names
 
-    def check_credentials(self, credentials: list[Credential]) -> list[Credential]:
+    def check_credentials(
+        self,
+        credentials: list[Credential],
+        engine: CryptoEngine | None = None,
+    ) -> list[Credential]:
         """Signature-verify the presented credentials; drop invalid ones.
 
         An empty *valid* set is an authorization failure (raised later by
         the policy), but a *tampered* credential is a hard error — the
         paper's datasources only ever act on CA-certified properties.
+        Verification of the whole set runs as one crypto-engine batch.
         """
         if self.ca_key is None:
             raise CredentialError(f"datasource {self.name} has no CA key")
-        valid = []
-        for credential in credentials:
-            if not verify_credential(credential, self.ca_key):
-                raise CredentialError(
-                    f"datasource {self.name}: credential signature invalid"
-                )
-            valid.append(credential)
-        return valid
+        engine = engine or get_engine()
+        verdicts = engine.map_batch(
+            verify_credential,
+            [(credential, self.ca_key) for credential in credentials],
+        )
+        if not all(verdicts):
+            raise CredentialError(
+                f"datasource {self.name}: credential signature invalid"
+            )
+        return list(credentials)
 
     def execute_partial_query(
         self, query: PartialQuery, credentials: list[Credential]

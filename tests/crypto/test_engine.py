@@ -1,0 +1,381 @@
+"""Batch-vs-scalar equivalence tests for the crypto engine.
+
+The engine's contract: every ``batch_*`` API returns exactly what
+mapping the scalar primitive over the inputs would — byte-identical
+values and identical primitive counts — in every execution mode
+(serial, pooled, legacy).  The pooled engine is forced onto tiny
+inputs here (``workers=2, threshold=1``) so the process-pool path is
+exercised even though these batches would normally stay serial.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+import pytest
+
+from repro.crypto import commutative as comm
+from repro.crypto import groups, hybrid, instrumentation, paillier, rsa
+from repro.crypto.engine import (
+    CryptoEngine,
+    FixedBaseTable,
+    PaillierNonceCache,
+    get_engine,
+    set_engine,
+    use_engine,
+)
+from repro.crypto.polynomial import encrypt_polynomial, evaluate, from_roots
+from repro.errors import ParameterError
+from repro.mediation.ca import verify_credential
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return CryptoEngine(workers=0)
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    engine = CryptoEngine(workers=2, threshold=1)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def legacy():
+    return CryptoEngine(workers=0, legacy=True)
+
+
+@pytest.fixture(scope="module")
+def all_engines(serial, pooled, legacy):
+    return [serial, pooled, legacy]
+
+
+@pytest.fixture(scope="module")
+def comm_key(comm_group):
+    return comm.generate_key(comm_group)
+
+
+def counted(callable_, *args, **kwargs):
+    """Run ``callable_`` under a fresh counter; return (result, counts)."""
+    with instrumentation.count_primitives() as counter:
+        result = callable_(*args, **kwargs)
+    return result, dict(counter.counts)
+
+
+class TestDispatch:
+    def test_modes(self, serial, pooled, legacy):
+        assert serial.mode == "serial"
+        assert pooled.mode == "pooled"
+        assert legacy.mode == "legacy"
+
+    def test_threshold_keeps_small_batches_serial(self):
+        engine = CryptoEngine(workers=2, threshold=50)
+        assert not engine._use_pool(49)
+        assert engine._use_pool(50)
+        engine.close()
+
+    def test_legacy_never_pools(self):
+        engine = CryptoEngine(workers=4, threshold=1, legacy=True)
+        assert not engine._use_pool(1000)
+        engine.close()
+
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRYPTO_WORKERS", "3")
+        assert CryptoEngine().workers == 3
+        monkeypatch.setenv("REPRO_CRYPTO_WORKERS", "zebra")
+        with pytest.raises(ParameterError):
+            CryptoEngine()
+
+    def test_installed_engine_swaps(self):
+        default = get_engine()
+        custom = CryptoEngine(workers=0)
+        with use_engine(custom):
+            assert get_engine() is custom
+        assert get_engine() is default
+        previous = set_engine(custom)
+        assert get_engine() is custom
+        set_engine(previous)
+
+
+class TestBatchPow:
+    def test_matches_builtin_pow(self, all_engines, comm_group):
+        bases = [comm_group.random_element() for _ in range(7)]
+        expected = [pow(b, 65537, comm_group.p) for b in bases]
+        for engine in all_engines:
+            assert engine.batch_pow(bases, 65537, comm_group.p) == expected
+
+    def test_empty_batch(self, serial, pooled):
+        assert serial.batch_pow([], 3, 97) == []
+        assert pooled.batch_pow([], 3, 97) == []
+
+
+class TestBatchCommutative:
+    def test_encrypt_matches_scalar(self, all_engines, comm_group, comm_key):
+        values = [comm_group.random_element() for _ in range(9)]
+        expected, scalar_counts = counted(
+            lambda: [comm.apply(comm_key, v) for v in values]
+        )
+        for engine in all_engines:
+            got, batch_counts = counted(
+                engine.batch_commutative_encrypt, comm_key, values
+            )
+            assert got == expected, engine.mode
+            assert batch_counts == scalar_counts, engine.mode
+
+    def test_decrypt_inverts_encrypt(self, all_engines, comm_group, comm_key):
+        values = [comm_group.random_element() for _ in range(9)]
+        for engine in all_engines:
+            tags = engine.batch_commutative_encrypt(comm_key, values)
+            assert engine.batch_commutative_decrypt(comm_key, tags) == values
+
+    def test_decrypt_counts_match_scalar(self, serial, comm_group, comm_key):
+        values = [comm_group.random_element() for _ in range(4)]
+        tags = [comm.apply(comm_key, v) for v in values]
+        expected, scalar_counts = counted(
+            lambda: [comm.invert(comm_key, t) for t in tags]
+        )
+        got, batch_counts = counted(
+            serial.batch_commutative_decrypt, comm_key, tags
+        )
+        assert got == expected
+        assert batch_counts == scalar_counts
+
+    def test_validation_rejects_non_residues(self, all_engines, comm_group, comm_key):
+        non_residue = next(
+            x for x in range(2, 1000) if not comm_group.contains(x)
+        )
+        for engine in all_engines:
+            with pytest.raises(ParameterError):
+                engine.batch_commutative_encrypt(comm_key, [non_residue])
+
+    def test_skipping_validation_for_members(self, serial, comm_group, comm_key):
+        values = [comm_group.random_element() for _ in range(3)]
+        expected = [comm.apply(comm_key, v) for v in values]
+        assert (
+            serial.batch_commutative_encrypt(comm_key, values, validate=False)
+            == expected
+        )
+
+
+class TestBatchPaillier:
+    def test_encrypt_deterministic_with_randomness(self, all_engines, paillier_key):
+        pk = paillier_key.public_key
+        plaintexts = list(range(8))
+        randomness = [paillier.random_unit(pk.n) for _ in plaintexts]
+        expected, scalar_counts = counted(
+            lambda: [
+                paillier.encrypt(pk, m, r).value
+                for m, r in zip(plaintexts, randomness)
+            ]
+        )
+        for engine in all_engines:
+            got, batch_counts = counted(
+                engine.batch_paillier_encrypt, pk, plaintexts, randomness
+            )
+            assert [c.value for c in got] == expected, engine.mode
+            assert batch_counts == scalar_counts, engine.mode
+
+    def test_encrypt_fresh_randomness_roundtrips(self, all_engines, paillier_key):
+        pk = paillier_key.public_key
+        plaintexts = [secrets.randbelow(pk.n) for _ in range(6)]
+        for engine in all_engines:
+            ciphertexts, counts = counted(
+                engine.batch_paillier_encrypt, pk, plaintexts
+            )
+            assert [
+                paillier.decrypt(paillier_key, c) for c in ciphertexts
+            ] == plaintexts, engine.mode
+            assert counts["paillier.encrypt"] == len(plaintexts)
+            assert counts["random.paillier_nonce"] == len(plaintexts)
+
+    def test_decrypt_matches_scalar(self, all_engines, paillier_key):
+        pk = paillier_key.public_key
+        plaintexts = [secrets.randbelow(pk.n) for _ in range(6)]
+        ciphertexts = [paillier.encrypt(pk, m) for m in plaintexts]
+        expected, scalar_counts = counted(
+            lambda: [paillier.decrypt(paillier_key, c) for c in ciphertexts]
+        )
+        assert expected == plaintexts
+        for engine in all_engines:
+            got, batch_counts = counted(
+                engine.batch_paillier_decrypt, paillier_key, ciphertexts
+            )
+            assert got == expected, engine.mode
+            assert batch_counts == scalar_counts, engine.mode
+
+    def test_decrypt_flavours_agree(self, serial, paillier_key):
+        pk = paillier_key.public_key
+        ciphertexts = [paillier.encrypt(pk, m) for m in (0, 1, pk.n - 1)]
+        crt = serial.batch_paillier_decrypt(paillier_key, ciphertexts, "crt")
+        textbook = serial.batch_paillier_decrypt(
+            paillier_key, ciphertexts, "carmichael"
+        )
+        assert crt == textbook == [0, 1, pk.n - 1]
+
+    def test_unknown_flavour_rejected(self, serial, paillier_key):
+        with pytest.raises(ParameterError):
+            serial.batch_paillier_decrypt(paillier_key, [], "quantum")
+
+    def test_nonce_cache_roundtrips(self, serial, pooled, paillier_key):
+        pk = paillier_key.public_key
+        cache = PaillierNonceCache(pk, pool_size=16, subset_size=4)
+        plaintexts = list(range(10))
+        for engine in (serial, pooled):
+            ciphertexts, counts = counted(
+                engine.batch_paillier_encrypt,
+                pk,
+                plaintexts,
+                nonce_cache=cache,
+            )
+            assert [
+                paillier.decrypt(paillier_key, c) for c in ciphertexts
+            ] == plaintexts
+            assert counts["random.paillier_nonce"] == len(plaintexts)
+
+    def test_nonce_cache_excludes_randomness(self, serial, paillier_key):
+        pk = paillier_key.public_key
+        cache = PaillierNonceCache(pk, pool_size=8, subset_size=2)
+        with pytest.raises(ParameterError):
+            serial.batch_paillier_encrypt(pk, [1], randomness=[2], nonce_cache=cache)
+
+
+class TestBatchScheme:
+    def test_encrypt_decrypt_roundtrip(self, all_engines, paillier_scheme, client):
+        private_key = client.homomorphic_key
+        public_key = paillier_scheme.public_key(private_key)
+        plaintexts = [3, 1, 4, 1, 5, 9]
+        for engine in all_engines:
+            ciphertexts = engine.batch_scheme_encrypt(
+                paillier_scheme, public_key, plaintexts
+            )
+            assert (
+                engine.batch_scheme_decrypt(
+                    paillier_scheme, private_key, ciphertexts
+                )
+                == plaintexts
+            ), engine.mode
+
+
+class TestBatchPolyEval:
+    def test_matches_scalar_masked_evaluate(
+        self, all_engines, paillier_scheme, client
+    ):
+        private_key = client.homomorphic_key
+        public_key = paillier_scheme.public_key(private_key)
+        modulus = paillier_scheme.plaintext_bound(public_key)
+        roots = [5, 11, 23]
+        coefficients = from_roots(roots, modulus)
+        encrypted = encrypt_polynomial(paillier_scheme, public_key, coefficients)
+        jobs = [
+            (x, 1 + secrets.randbelow(modulus - 1), secrets.randbelow(1 << 64))
+            for x in (5, 11, 23, 42, 99)
+        ]
+        expected = [
+            (mask * evaluate(coefficients, x, modulus) + payload) % modulus
+            for x, mask, payload in jobs
+        ]
+        for engine in all_engines:
+            evaluations = engine.batch_poly_eval(encrypted, jobs)
+            decrypted = [
+                paillier_scheme.decrypt(private_key, e) for e in evaluations
+            ]
+            assert decrypted == expected, engine.mode
+            # Roots must null the mask so only the payload survives.
+            assert decrypted[:3] == [job[2] for job in jobs[:3]]
+
+
+class TestBatchHybrid:
+    def test_decrypt_matches_scalar(self, all_engines, rsa_key):
+        plaintexts = [b"tuple-set-%d" % i for i in range(7)]
+        ciphertexts = [
+            hybrid.encrypt([rsa_key.public_key()], m) for m in plaintexts
+        ]
+        _, scalar_counts = counted(
+            lambda: [hybrid.decrypt(rsa_key, c) for c in ciphertexts]
+        )
+        for engine in all_engines:
+            got, batch_counts = counted(
+                engine.batch_hybrid_decrypt, rsa_key, ciphertexts
+            )
+            assert got == plaintexts, engine.mode
+            assert batch_counts == scalar_counts, engine.mode
+
+    def test_encrypt_roundtrips(self, all_engines, rsa_key):
+        plaintexts = [b"payload-%d" % i for i in range(6)]
+        for engine in all_engines:
+            ciphertexts, counts = counted(
+                engine.batch_hybrid_encrypt,
+                [rsa_key.public_key()],
+                plaintexts,
+            )
+            assert [
+                hybrid.decrypt(rsa_key, c) for c in ciphertexts
+            ] == plaintexts, engine.mode
+            assert counts["hybrid.encrypt"] == len(plaintexts)
+            assert counts["rsa.encrypt"] == len(plaintexts)
+
+    def test_associated_data_is_bound(self, serial, rsa_key):
+        [ciphertext] = serial.batch_hybrid_encrypt(
+            [rsa_key.public_key()], [b"x"], associated_data=b"context"
+        )
+        assert serial.batch_hybrid_decrypt(
+            rsa_key, [ciphertext], associated_data=b"context"
+        ) == [b"x"]
+
+
+class TestMapBatch:
+    def test_credential_verification(self, all_engines, ca, client):
+        jobs = [
+            (credential, ca.verification_key)
+            for credential in client.credentials
+        ] * 3
+        for engine in all_engines:
+            assert all(engine.map_batch(verify_credential, jobs)), engine.mode
+
+
+class TestFixedBaseTable:
+    def test_matches_builtin_pow(self, comm_group):
+        table = FixedBaseTable(3, comm_group.p, 192)
+        for _ in range(25):
+            exponent = secrets.randbelow(1 << 192)
+            assert table.pow(exponent) == pow(3, exponent, comm_group.p)
+
+    def test_edge_exponents(self, comm_group):
+        table = FixedBaseTable(5, comm_group.p, 64, window=4)
+        assert table.pow(0) == 1
+        assert table.pow(1) == 5
+        assert table.pow((1 << 64) - 1) == pow(5, (1 << 64) - 1, comm_group.p)
+
+    def test_oversized_exponent_falls_back(self, comm_group):
+        table = FixedBaseTable(7, comm_group.p, 32)
+        exponent = 1 << 100
+        assert table.pow(exponent) == pow(7, exponent, comm_group.p)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            FixedBaseTable(2, 1, 10)
+        with pytest.raises(ParameterError):
+            FixedBaseTable(2, 97, 10, window=0)
+        with pytest.raises(ParameterError):
+            FixedBaseTable(2, 97, 0)
+        with pytest.raises(ParameterError):
+            FixedBaseTable(2, 97, 10).pow(-1)
+
+    def test_size_accounting(self):
+        table = FixedBaseTable(2, groups.safe_prime(64), 64, window=4)
+        assert table.size_bytes() > 0
+
+
+class TestPooledCounterAggregation:
+    def test_worker_counts_replayed_into_nested_counters(
+        self, pooled, comm_group, comm_key
+    ):
+        values = [comm_group.random_element() for _ in range(5)]
+        with instrumentation.count_primitives() as outer:
+            with instrumentation.count_primitives() as inner:
+                pooled.batch_commutative_encrypt(comm_key, values)
+        # Both nested counters observe the full batch, exactly as they
+        # would have for a serial loop in this process.
+        assert inner.counts["commutative.encrypt"] == 5
+        assert outer.counts["commutative.encrypt"] == 5

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.crypto import groups
 from repro.crypto import numtheory as nt
 from repro.errors import ParameterError
 
@@ -107,6 +108,30 @@ class TestJacobiAndResidues:
     def test_jacobi_requires_odd(self):
         with pytest.raises(ParameterError):
             nt.jacobi(3, 8)
+
+    @given(
+        st.sampled_from(sorted(groups.KNOWN_SAFE_PRIMES)[:5]),
+        st.integers(min_value=2, max_value=2**512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_jacobi_matches_euler_on_safe_primes(self, bits, raw):
+        # The engine replaces the Euler-criterion residuosity check with
+        # a Jacobi-symbol computation; the two must agree on every
+        # element of Z_p^* for the deployed safe-prime moduli.
+        p = groups.safe_prime(bits)
+        a = raw % p
+        if a == 0:
+            assert nt.jacobi(a, p) == 0
+            return
+        euler = nt.is_quadratic_residue(a, p)
+        assert nt.jacobi(a, p) == (1 if euler else -1)
+
+    def test_jacobi_matches_euler_on_generated_safe_prime(self):
+        p = nt.generate_safe_prime(48)
+        for _ in range(50):
+            a = nt.random_in_range(1, p)
+            euler = nt.is_quadratic_residue(a, p)
+            assert nt.jacobi(a, p) == (1 if euler else -1)
 
     @pytest.mark.parametrize("p", [23, 103, 104729])
     def test_sqrt_mod_prime(self, p):

@@ -104,6 +104,69 @@ class TestHomomorphicLaws:
         assert paillier.decrypt(key, ct) == 37
 
 
+class TestCRTDecryption:
+    """CRT decryption (engine fast path) must agree with Carmichael."""
+
+    def test_keypair_retains_factorisation(self, key):
+        assert key.has_factorisation
+        assert key.p * key.q == key.public_key.n
+
+    def test_roundtrip_edge_values(self, key, pk):
+        for m in [0, 1, 2, pk.n - 1]:
+            ct = paillier.encrypt(pk, m)
+            assert paillier.decrypt_crt(key, ct) == m
+            assert paillier.decrypt_carmichael(key, ct) == m
+
+    @given(st.integers(min_value=0))
+    @settings(max_examples=40, deadline=None)
+    def test_crt_matches_carmichael(self, key, pk, raw):
+        ct = paillier.encrypt(pk, raw % pk.n)
+        assert paillier.decrypt_crt(key, ct) == paillier.decrypt_carmichael(
+            key, ct
+        )
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_crt_matches_carmichael_after_homomorphic_ops(
+        self, key, pk, a, b, gamma
+    ):
+        ct = paillier.rerandomize(
+            paillier.negate(
+                paillier.add_plain(
+                    paillier.scalar_multiply(
+                        paillier.add(
+                            paillier.encrypt(pk, a), paillier.encrypt(pk, b)
+                        ),
+                        gamma,
+                    ),
+                    b,
+                )
+            )
+        )
+        crt = paillier.decrypt_crt(key, ct)
+        assert crt == paillier.decrypt_carmichael(key, ct)
+        assert crt == (-((a + b) * gamma + b)) % pk.n
+
+    def test_dispatch_prefers_crt_when_factors_known(self, key, pk):
+        # decrypt() auto-dispatches; both paths must agree with it.
+        ct = paillier.encrypt(pk, 12345)
+        assert paillier.decrypt(key, ct) == 12345
+
+    def test_legacy_key_without_factors_still_decrypts(self, key, pk):
+        # Backward compatibility: keys built the pre-CRT way (no p, q)
+        # fall back to the Carmichael path transparently.
+        legacy = paillier.PaillierPrivateKey(
+            public_key=pk, lam=key.lam, mu=key.mu
+        )
+        assert not legacy.has_factorisation
+        ct = paillier.encrypt(pk, 777)
+        assert paillier.decrypt(legacy, ct) == 777
+        with pytest.raises(ParameterError):
+            paillier.decrypt_crt(legacy, ct)
+
+
 class TestRerandomization:
     def test_preserves_plaintext_changes_ciphertext(self, key, pk):
         original = paillier.encrypt(pk, 99)
