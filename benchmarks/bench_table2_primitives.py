@@ -3,7 +3,17 @@
 The instrumented primitive counters of real runs are categorized into
 the paper's terms; each assertion is one cell of Table 2.  The benchmark
 times the protocol run that produces the counters.
+
+Every run is executed through the telemetry ``MetricsRegistry`` with a
+legacy ``PrimitiveCounter`` installed at the same scope: both observe
+the identical stream of ``record()`` calls, so their totals must agree
+exactly.  That parity assertion pins the registry-based accounting to
+the counter the original benchmarks were built on, and the registry
+snapshot for each protocol is persisted under ``benchmarks/out/`` as a
+machine-readable companion to the rendered table.
 """
+
+import json
 
 from conftest import write_report
 
@@ -13,15 +23,34 @@ from repro.analysis.primitives import (
     primitive_profile,
     table2,
 )
+from repro.crypto.instrumentation import count_primitives
+from repro.telemetry import MetricsRegistry, use_metrics
+from repro.telemetry.exporters import registry_snapshot_json
+from repro.telemetry.metrics import PRIMITIVE_OPS_METRIC
 
 QUERY = "select * from R1 natural join R2"
 
 
+def run_with_registry(make_federation, workload, protocol):
+    """One traced run; returns (result, registry) after asserting parity.
+
+    The registry and the legacy counter are installed at the same scope,
+    so ``registry.primitive_counts()`` must equal the counter's dict —
+    any drift means the shim stopped forwarding ``record()`` calls.
+    """
+    registry = MetricsRegistry()
+    with use_metrics(registry), count_primitives() as counter:
+        result = run_join_query(
+            make_federation(workload), QUERY, protocol=protocol
+        )
+    assert registry.primitive_counts() == dict(counter.counts)
+    assert registry.total(PRIMITIVE_OPS_METRIC) == sum(counter.counts.values())
+    return result, registry
+
+
 def test_table2_das_row(benchmark, make_federation, default_workload):
-    result = benchmark.pedantic(
-        lambda: run_join_query(
-            make_federation(default_workload), QUERY, protocol="das"
-        ),
+    result, _ = benchmark.pedantic(
+        lambda: run_with_registry(make_federation, default_workload, "das"),
         rounds=3,
         iterations=1,
     )
@@ -30,9 +59,9 @@ def test_table2_das_row(benchmark, make_federation, default_workload):
 
 
 def test_table2_commutative_row(benchmark, make_federation, default_workload):
-    result = benchmark.pedantic(
-        lambda: run_join_query(
-            make_federation(default_workload), QUERY, protocol="commutative"
+    result, _ = benchmark.pedantic(
+        lambda: run_with_registry(
+            make_federation, default_workload, "commutative"
         ),
         rounds=3,
         iterations=1,
@@ -45,10 +74,9 @@ def test_table2_commutative_row(benchmark, make_federation, default_workload):
 
 
 def test_table2_private_matching_row(benchmark, make_federation, default_workload):
-    result = benchmark.pedantic(
-        lambda: run_join_query(
-            make_federation(default_workload), QUERY,
-            protocol="private-matching",
+    result, _ = benchmark.pedantic(
+        lambda: run_with_registry(
+            make_federation, default_workload, "private-matching"
         ),
         rounds=3,
         iterations=1,
@@ -63,11 +91,13 @@ def test_table2_private_matching_row(benchmark, make_federation, default_workloa
 def test_table2_report(make_federation, default_workload):
     """Render the full reproduced table (and check the baseline split)."""
     profiles = []
+    snapshots = {}
     for protocol in ("das", "commutative", "private-matching"):
-        result = run_join_query(
-            make_federation(default_workload), QUERY, protocol=protocol
+        result, registry = run_with_registry(
+            make_federation, default_workload, protocol
         )
         profiles.append(primitive_profile(result))
+        snapshots[protocol] = json.loads(registry_snapshot_json(registry))
         baseline = baseline_operations(result.primitive_counter)
         # The hybrid/symmetric machinery belongs to the MMM baseline in
         # every row (PM's session-key variant uses the symmetric layer
@@ -77,3 +107,6 @@ def test_table2_report(make_federation, default_workload):
             for op in baseline
         )
     write_report("table2.txt", table2(profiles))
+    write_report(
+        "table2_metrics.json", json.dumps(snapshots, indent=2, sort_keys=True)
+    )

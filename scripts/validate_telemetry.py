@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Validate telemetry artifacts produced by a traced ``repro`` run.
+
+Usage::
+
+    python scripts/validate_telemetry.py --trace trace.json --metrics metrics.prom
+
+Checks the Chrome trace-event document with the repo's internal linter
+(``validate_chrome_trace``) and the Prometheus text exposition with
+``validate_exposition``.  Optionally asserts that the trace is a single
+stitched trace covering an expected set of parties (``--expect-party``,
+repeatable).  Exits non-zero and prints every problem on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.exporters import validate_chrome_trace, validate_exposition
+
+
+def check_trace(path: str, expected_parties: list[str]) -> list[str]:
+    problems: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: unreadable Chrome trace: {error}"]
+    problems += [f"{path}: {p}" for p in validate_chrome_trace(document)]
+
+    events = [e for e in document.get("traceEvents", []) if e.get("ph") == "X"]
+    if not events:
+        problems.append(f"{path}: trace contains no complete ('X') events")
+        return problems
+
+    trace_ids = {e["args"].get("trace_id") for e in events}
+    if len(trace_ids) != 1:
+        problems.append(
+            f"{path}: expected one stitched trace, found trace IDs {sorted(map(str, trace_ids))}"
+        )
+    parties = {e["args"].get("party") for e in events}
+    missing = [p for p in expected_parties if p not in parties]
+    if missing:
+        problems.append(
+            f"{path}: parties missing from trace: {missing} (present: {sorted(map(str, parties))})"
+        )
+    return problems
+
+
+def check_metrics(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"{path}: unreadable metrics file: {error}"]
+    problems = [f"{path}: {p}" for p in validate_exposition(text)]
+    if "repro_crypto_primitive_ops_total" not in text:
+        problems.append(f"{path}: no primitive-op samples in exposition")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--metrics", help="Prometheus exposition to lint")
+    parser.add_argument(
+        "--expect-party",
+        action="append",
+        default=[],
+        help="party that must appear in the trace (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass --trace and/or --metrics")
+
+    problems: list[str] = []
+    if args.trace:
+        problems += check_trace(args.trace, args.expect_party)
+    if args.metrics:
+        problems += check_metrics(args.metrics)
+
+    for problem in problems:
+        print(f"FAIL {problem}", file=sys.stderr)
+    if not problems:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print(f"ok: {', '.join(checked)}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

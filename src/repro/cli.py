@@ -12,7 +12,13 @@ Commands:
   in-process or over TCP against running ``serve`` endpoints.
 * ``serve``    — run one party's TCP endpoint (mediator, source, or
   client) for the distributed demo.
+* ``telemetry`` — fetch a running endpoint's spans and metrics.
 * ``workload`` — generate a synthetic workload as two CSV files.
+
+Every protocol-running command accepts ``--trace-out`` (Chrome
+trace-event JSON, loadable in Perfetto), ``--metrics-out`` (Prometheus
+text exposition, or a JSON snapshot for ``.json`` paths), and
+``--log-level``; see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -20,7 +26,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro import (
     CertificationAuthority,
@@ -36,8 +43,20 @@ from repro.mediation.access_control import allow_all
 from repro.mediation.client import default_homomorphic_scheme
 from repro.relational import csvio
 from repro.relational.datagen import WorkloadSpec, Workload, generate
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    get_tracer,
+    party_logger,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.transport import PartyServer, TcpTransport
 from repro.transport.base import Transport
+from repro.transport.tcp import fetch_telemetry
 
 DEFAULT_RSA_BITS = 1024
 DEFAULT_PAILLIER_BITS = 1024
@@ -104,6 +123,52 @@ def _add_crypto_arguments(parser: argparse.ArgumentParser) -> None:
         "--batch-threshold", type=int, default=None,
         help="minimum batch size before crypto work fans out to the pool",
     )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of the run (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write run metrics: Prometheus text exposition, or a JSON "
+             "snapshot when PATH ends in .json",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured logging at this level",
+    )
+
+
+@contextmanager
+def _telemetry_session(args) -> Iterator[tuple[Tracer | None, MetricsRegistry | None]]:
+    """Install tracer/registry per the CLI flags; export files on exit.
+
+    Tracing and metrics activate together whenever either output path is
+    requested — a trace without its metrics (or vice versa) is rarely
+    what anyone wants, and the combined overhead is negligible.
+    """
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield None, None
+        return
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        try:
+            yield tracer, registry
+        finally:
+            if trace_out:
+                write_chrome_trace(trace_out, tracer.spans)
+                print(f"trace written to {trace_out}", file=sys.stderr)
+            if metrics_out:
+                write_metrics(metrics_out, registry)
+                print(f"metrics written to {metrics_out}", file=sys.stderr)
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -233,6 +298,11 @@ def _command_query(args) -> int:
                 f"mediator endpoint recorded {len(remote)} messages "
                 f"({sum(r.wire_bytes for r in remote)} B received)"
             )
+            if get_tracer() is not None:
+                # Pull every endpoint's recv spans and metrics into the
+                # installed collectors: the exported trace then covers
+                # client, mediator, and both sources as one trace.
+                transport.harvest_telemetry()
     finally:
         if transport is not None:
             transport.close()
@@ -242,30 +312,44 @@ def _command_query(args) -> int:
 def _command_serve(args) -> int:
     party = args.party or DEFAULT_PARTY_OF_ROLE.get(args.role, "client")
     port = args.port if args.port is not None else DEFAULT_PORTS.get(party, 0)
+    configure_logging(args.log_level or "info")
+    log = party_logger(party)
     server = PartyServer(
         party,
         host=args.host,
         port=port,
-        on_message=lambda record: print(
-            f"#{record.sequence:03d} {record.sender} -> {record.receiver}: "
-            f"{record.kind} ({record.wire_bytes} B)",
-            flush=True,
+        on_message=lambda record: log.info(
+            "#%03d %s -> %s: %s (%d B)",
+            record.sequence, record.sender, record.receiver,
+            record.kind, record.wire_bytes,
         ),
     )
 
     async def _serve() -> None:
         host, bound_port = await server.start()
-        print(
-            f"{args.role} endpoint for party {party!r} listening on "
-            f"{host}:{bound_port}",
-            flush=True,
+        log.info(
+            "%s endpoint for party %r listening on %s:%d",
+            args.role, party, host, bound_port,
         )
         await server.serve_forever()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
-        print(f"\n{party}: {len(server.records)} messages received, bye")
+        log.info("%d messages received, bye", len(server.records))
+    return 0
+
+
+def _command_telemetry(args) -> int:
+    """Print a running endpoint's telemetry (TELEMETRY/TELEMETRY_DATA)."""
+    snapshot = fetch_telemetry(args.host, args.port, timeout=args.timeout)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        exposition = snapshot.get("exposition", "")
+        print(exposition, end="" if exposition.endswith("\n") else "\n")
     return 0
 
 
@@ -319,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(demo)
     _add_crypto_arguments(demo)
+    _add_telemetry_arguments(demo)
     demo.set_defaults(handler=_command_demo)
 
     comparison = commands.add_parser(
@@ -326,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(comparison)
     _add_crypto_arguments(comparison)
+    _add_telemetry_arguments(comparison)
     comparison.set_defaults(handler=_command_compare)
 
     leakage = commands.add_parser(
@@ -333,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(leakage)
     _add_crypto_arguments(leakage)
+    _add_telemetry_arguments(leakage)
     leakage.set_defaults(handler=_command_leakage)
 
     audit = commands.add_parser(
@@ -343,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(audit)
     _add_crypto_arguments(audit)
+    _add_telemetry_arguments(audit)
     audit.set_defaults(handler=_command_audit)
 
     query = commands.add_parser("query", help="secure-join two CSV relations")
@@ -365,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
              "mediator=127.0.0.1:7401, S1=...:7402, S2=...:7403)",
     )
     _add_crypto_arguments(query)
+    _add_telemetry_arguments(query)
     query.set_defaults(handler=_command_query)
 
     serve = commands.add_parser(
@@ -383,7 +472,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=None,
         help="listening port (default: the party's well-known demo port)",
     )
+    serve.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="endpoint log verbosity (default: info)",
+    )
     serve.set_defaults(handler=_command_serve)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="fetch a running endpoint's spans and metrics"
+    )
+    telemetry.add_argument("--host", default="127.0.0.1")
+    telemetry.add_argument(
+        "--port", type=int, required=True, help="endpoint port to query"
+    )
+    telemetry.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="Prometheus exposition (default) or the full JSON snapshot",
+    )
+    telemetry.add_argument(
+        "--timeout", type=float, default=10.0, help="request timeout seconds"
+    )
+    telemetry.set_defaults(handler=_command_telemetry)
 
     report = commands.add_parser(
         "report", help="full markdown evaluation report (all protocols)"
@@ -391,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None, help="write markdown here")
     _add_workload_arguments(report)
     _add_crypto_arguments(report)
+    _add_telemetry_arguments(report)
     report.set_defaults(handler=_command_report)
 
     workload = commands.add_parser(
@@ -408,21 +519,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    # Install the crypto engine for subcommands exposing the tuning
-    # knobs (serve/workload have no crypto arguments).
-    if getattr(args, "workers", None) is not None or getattr(
-        args, "batch_threshold", None
-    ) is not None:
-        engine = CryptoEngine(
-            workers=args.workers, threshold=args.batch_threshold
-        )
-        previous = set_engine(engine)
-        try:
-            return args.handler(args)
-        finally:
-            engine.close()
-            set_engine(previous)
-    return args.handler(args)
+    with _telemetry_session(args):
+        # Install the crypto engine for subcommands exposing the tuning
+        # knobs (serve/workload have no crypto arguments).
+        if getattr(args, "workers", None) is not None or getattr(
+            args, "batch_threshold", None
+        ) is not None:
+            engine = CryptoEngine(
+                workers=args.workers, threshold=args.batch_threshold
+            )
+            previous = set_engine(engine)
+            try:
+                return args.handler(args)
+            finally:
+                engine.close()
+                set_engine(previous)
+        return args.handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,11 +18,17 @@ from repro.relational.relation import Relation
 
 @dataclass
 class StepTiming:
-    """Wall-clock duration of one protocol step at one party."""
+    """Wall-clock duration of one protocol step at one party.
+
+    ``ok`` is False when the step raised: the duration up to the
+    failure is still recorded, and analyses can tell an aborted run
+    from a completed one.
+    """
 
     party: str
     step: str
     seconds: float
+    ok: bool = True
 
 
 @dataclass
@@ -53,8 +59,14 @@ class MediationResult:
     def interaction_count(self, a: str, b: str) -> int:
         return self.network.interaction_count(a, b)
 
-    def add_timing(self, party: str, step: str, seconds: float) -> None:
-        self.timings.append(StepTiming(party, step, seconds))
+    def add_timing(
+        self, party: str, step: str, seconds: float, ok: bool = True
+    ) -> None:
+        self.timings.append(StepTiming(party, step, seconds, ok))
+
+    def failed_steps(self) -> list[StepTiming]:
+        """Timings of steps that raised instead of completing."""
+        return [t for t in self.timings if not t.ok]
 
     def summary(self) -> str:
         lines = [
@@ -66,4 +78,8 @@ class MediationResult:
             f"time:     {self.total_seconds():.4f}s across "
             f"{len(self.timings)} steps",
         ]
+        failed = self.failed_steps()
+        if failed:
+            names = ", ".join(f"{t.party}/{t.step}" for t in failed)
+            lines.append(f"failed:   {names}")
         return "\n".join(lines)

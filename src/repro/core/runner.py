@@ -21,6 +21,7 @@ from repro.crypto.engine import CryptoEngine
 from repro.errors import ProtocolError
 from repro.relational.algebra import evaluate_above_join
 from repro.relational.relation import Relation
+from repro.telemetry import tracing
 
 #: Protocol registry: name -> (delivery function, config class).
 PROTOCOLS = {
@@ -57,15 +58,23 @@ def run_join_query(
             f"protocol {protocol!r} expects a {config_type.__name__}, "
             f"got {type(config).__name__}"
         )
-    outcome = run_request_phase(federation, query)
-    result = delivery(federation, outcome, config, engine=engine)
-    # The protocols deliver the JOIN; remaining operators of the global
-    # query (selection, projection) are the client's local post-work.
-    tree = outcome.decomposition.tree
-    join_rows = len(result.global_result)
-    result.global_result = evaluate_above_join(tree, result.global_result)
-    result.artifacts["join_rows_before_postprocessing"] = join_rows
-    return result
+    client_party = federation.client.name if federation.client else "client"
+    with tracing.span(
+        "run_join_query", client_party, kind="run", protocol=protocol
+    ):
+        with tracing.span("request_phase", client_party, kind="phase"):
+            outcome = run_request_phase(federation, query)
+        with tracing.span(
+            "delivery", client_party, kind="phase", protocol=protocol
+        ):
+            result = delivery(federation, outcome, config, engine=engine)
+        # The protocols deliver the JOIN; remaining operators of the global
+        # query (selection, projection) are the client's local post-work.
+        tree = outcome.decomposition.tree
+        join_rows = len(result.global_result)
+        result.global_result = evaluate_above_join(tree, result.global_result)
+        result.artifacts["join_rows_before_postprocessing"] = join_rows
+        return result
 
 
 def reference_join(

@@ -1,4 +1,19 @@
-"""Step timing helper shared by the delivery-phase implementations."""
+"""Step timing helper shared by the delivery-phase implementations.
+
+:func:`timed` is the single instrumentation point every protocol step
+passes through.  Besides the original wall-clock recording into
+:class:`~repro.core.result.MediationResult`, it now
+
+* opens a telemetry span (named after the step, attributed to the
+  party) when a tracer is installed, so step structure appears in
+  distributed traces,
+* observes the duration into the ``repro_step_seconds`` histogram of
+  the installed metrics registry, and
+* records the duration *even when the step raises*, marking the
+  :class:`~repro.core.result.StepTiming` (and the span, and the
+  ``repro_step_failures_total`` counter) as failed — a crashed run's
+  partial timings are analysable instead of silently truncated.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +22,37 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.core.result import MediationResult
+from repro.telemetry import metrics, tracing
+
+#: Histogram of step durations, labelled by party and step.
+STEP_SECONDS_METRIC = "repro_step_seconds"
+#: Counter of steps that raised, labelled by party and step.
+STEP_FAILURES_METRIC = "repro_step_failures_total"
 
 
 @contextmanager
 def timed(result: MediationResult, party: str, step: str) -> Iterator[None]:
     """Record the wall-clock duration of one protocol step."""
+    registry = metrics.get_registry()
     started = time.perf_counter()
-    try:
-        yield
-    finally:
-        result.add_timing(party, step, time.perf_counter() - started)
+    ok = True
+    with tracing.span(step, party, kind="step"):
+        try:
+            yield
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            seconds = time.perf_counter() - started
+            result.add_timing(party, step, seconds, ok=ok)
+            if registry is not None:
+                labels = {"party": party, "step": step}
+                registry.histogram(
+                    STEP_SECONDS_METRIC, labels,
+                    help_text="Protocol step wall-clock duration in seconds",
+                ).observe(seconds)
+                if not ok:
+                    registry.counter(
+                        STEP_FAILURES_METRIC, labels,
+                        help_text="Protocol steps that raised an exception",
+                    ).inc()

@@ -50,6 +50,8 @@ from repro.crypto import commutative, hybrid, instrumentation, paillier
 from repro.crypto.homomorphic import AdditiveHomomorphicScheme, PaillierScheme
 from repro.crypto.polynomial import EncryptedPolynomial
 from repro.errors import ParameterError
+from repro.telemetry import tracing
+from repro.telemetry.tracing import Span, SpanContext, Tracer
 
 #: Batches below this size never engage the process pool: the fork/IPC
 #: overhead only amortises over a handful of big exponentiations.
@@ -70,12 +72,41 @@ _THRESHOLD_ENV = "REPRO_CRYPTO_THRESHOLD"
 
 
 def _run_chunk(
-    unit: Callable[[Any, Any], Any], shared: Any, chunk: list
-) -> tuple[list, dict[str, int]]:
-    """Execute ``unit`` over ``chunk`` in a worker, counting primitives."""
+    unit: Callable[[Any, Any], Any],
+    shared: Any,
+    chunk: list,
+    trace: dict | None = None,
+) -> tuple[list, dict[str, int], list[dict]]:
+    """Execute ``unit`` over ``chunk`` in a worker, counting primitives.
+
+    ``trace`` (``{"trace_id", "span_id", "party"}``) is the driver-side
+    batch span's context; when present the worker records its own chunk
+    span under that parent and ships it back for the driver's tracer to
+    adopt — pool workers thereby appear in the distributed trace exactly
+    like remote endpoints do.
+    """
+    spans: list[dict] = []
     with instrumentation.count_primitives() as counter:
-        results = [unit(shared, item) for item in chunk]
-    return results, dict(counter.counts)
+        if trace is None:
+            results = [unit(shared, item) for item in chunk]
+        else:
+            worker_tracer = Tracer(trace_id=trace["trace_id"])
+            parent = SpanContext(
+                trace_id=trace["trace_id"], span_id=trace["span_id"]
+            )
+            with worker_tracer.span(
+                "crypto:chunk",
+                trace["party"],
+                parent=parent,
+                attributes={
+                    "kind": "crypto",
+                    "items": len(chunk),
+                    "pid": os.getpid(),
+                },
+            ):
+                results = [unit(shared, item) for item in chunk]
+            spans = [span.to_dict() for span in worker_tracer.spans]
+    return results, dict(counter.counts), spans
 
 
 def _unit_call(func: Callable, item: tuple) -> Any:
@@ -350,24 +381,54 @@ class CryptoEngine:
         self, unit: Callable[[Any, Any], Any], shared: Any, items: Sequence
     ) -> list:
         items = list(items)
-        if not self._use_pool(len(items)):
-            return [unit(shared, item) for item in items]
-        pool = self._ensure_pool()
-        chunk = max(1, math.ceil(len(items) / (self.workers * _CHUNKS_PER_WORKER)))
-        futures = [
-            pool.submit(_run_chunk, unit, shared, items[start:start + chunk])
-            for start in range(0, len(items), chunk)
-        ]
-        results: list = []
-        for future in futures:
-            part, counts = future.result()
-            results.extend(part)
-            # Replay the workers' primitive counts into the counters
-            # installed in this process: Table 2 analyses must see the
-            # same totals whether or not the pool ran.
-            for operation, amount in counts.items():
-                instrumentation.record(operation, amount)
-        return results
+        name = unit.__name__.replace("_unit_", "", 1)
+        party = self._ambient_party()
+        with tracing.span(
+            f"crypto:{name}", party,
+            kind="crypto", items=len(items), mode=self.mode,
+        ) as batch_span:
+            if not self._use_pool(len(items)):
+                return [unit(shared, item) for item in items]
+            trace = None
+            if batch_span is not None:
+                trace = {
+                    "trace_id": batch_span.trace_id,
+                    "span_id": batch_span.span_id,
+                    "party": party,
+                }
+            pool = self._ensure_pool()
+            chunk = max(
+                1, math.ceil(len(items) / (self.workers * _CHUNKS_PER_WORKER))
+            )
+            futures = [
+                pool.submit(
+                    _run_chunk, unit, shared, items[start:start + chunk], trace
+                )
+                for start in range(0, len(items), chunk)
+            ]
+            results: list = []
+            tracer = tracing.get_tracer()
+            for future in futures:
+                part, counts, span_records = future.result()
+                results.extend(part)
+                # Replay the workers' primitive counts into the counters
+                # installed in this process: Table 2 analyses must see the
+                # same totals whether or not the pool ran.
+                for operation, amount in counts.items():
+                    instrumentation.record(operation, amount)
+                # Likewise adopt the workers' spans: the pool is invisible
+                # to protocol semantics but visible in the trace.
+                if tracer is not None and span_records:
+                    tracer.adopt(
+                        Span.from_dict(record) for record in span_records
+                    )
+            return results
+
+    @staticmethod
+    def _ambient_party() -> str:
+        """The party the enclosing step span runs at, for batch spans."""
+        current = tracing.current_span()
+        return current.party if current is not None else "engine"
 
     # -- batch APIs ---------------------------------------------------------
 

@@ -9,6 +9,14 @@ around a protocol run and read back exact operation counts.
 
 Counting is opt-in and costs one dictionary lookup per primitive call when
 no counter is installed.
+
+This module is now a thin compatibility shim over the unified telemetry
+layer: every recorded operation is *also* forwarded into the installed
+:class:`repro.telemetry.metrics.MetricsRegistry` (as the
+``repro_crypto_primitive_ops_total`` counter family), so Prometheus
+expositions and JSON snapshots carry exactly the totals the legacy
+counters observe.  The counter stack itself is unchanged — analyses and
+tests that consume :class:`PrimitiveCounter` keep working verbatim.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ import threading
 from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.telemetry import metrics as _metrics
 
 _local = threading.local()
 
@@ -64,9 +74,13 @@ class PrimitiveCounter:
 
 
 def record(operation: str, amount: int = 1) -> None:
-    """Report ``amount`` invocations of ``operation`` to active counters."""
+    """Report ``amount`` invocations of ``operation`` to active counters
+    and to the installed metrics registry (if any)."""
     for counter in _stack():
         counter.record(operation, amount)
+    registry = _metrics.get_registry()
+    if registry is not None:
+        registry.record_primitive(operation, amount)
 
 
 @contextmanager

@@ -93,3 +93,12 @@ class NetworkError(MediationError):
 
 class ProtocolError(MediationError):
     """A protocol step was violated (wrong message, wrong order, bad state)."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+class TelemetryError(ReproError):
+    """Invalid telemetry usage: bad metric/label name, kind conflict,
+    malformed span record or snapshot, unknown log level."""

@@ -23,6 +23,7 @@ from repro.crypto.hybrid import HybridCiphertext, key_fingerprint
 from repro.errors import CredentialError, DecryptionError
 from repro.mediation.ca import CertificationAuthority
 from repro.mediation.credentials import Credential, IdentityCertificate, Property
+from repro.telemetry import tracing
 
 
 @dataclass
@@ -61,6 +62,20 @@ class Client:
         each group decrypts in one engine batch; the result list keeps
         the input order.
         """
+        with tracing.span(
+            "decrypt_hybrid_many", self.name,
+            kind="mediation", items=len(ciphertexts),
+        ):
+            return self._decrypt_hybrid_many(
+                ciphertexts, associated_data, engine
+            )
+
+    def _decrypt_hybrid_many(
+        self,
+        ciphertexts: Sequence[HybridCiphertext],
+        associated_data: bytes,
+        engine: CryptoEngine | None,
+    ) -> list[bytes]:
         engine = engine or get_engine()
         by_key: dict[bytes, tuple[rsa.RSAPrivateKey, list[int]]] = {}
         for position, ciphertext in enumerate(ciphertexts):
@@ -112,9 +127,13 @@ class Client:
                 f"client {self.name} has no homomorphic key pair"
             )
         engine = engine or get_engine()
-        return engine.batch_scheme_decrypt(
-            self.homomorphic_scheme, self.homomorphic_key, ciphertexts
-        )
+        with tracing.span(
+            "decrypt_homomorphic_many", self.name,
+            kind="mediation", items=len(ciphertexts),
+        ):
+            return engine.batch_scheme_decrypt(
+                self.homomorphic_scheme, self.homomorphic_key, ciphertexts
+            )
 
     # -- credential selection --------------------------------------------------
 

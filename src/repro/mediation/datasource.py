@@ -21,6 +21,7 @@ from repro.mediation.ca import verify_credential
 from repro.mediation.credentials import Credential
 from repro.relational.algebra import PartialQuery
 from repro.relational.relation import Relation
+from repro.telemetry import tracing
 
 
 @dataclass
@@ -93,16 +94,23 @@ class DataSource:
         self, query: PartialQuery, credentials: list[Credential]
     ) -> Relation:
         """Listing 1 step 4: check credentials, execute ``q_i`` -> ``R_i``."""
-        if query.relation_name not in self.relations:
-            raise QueryError(
-                f"datasource {self.name} does not manage {query.relation_name!r}"
-            )
-        valid = self.check_credentials(credentials)
-        policy = self.policies[query.relation_name]
-        try:
-            permitted = policy.evaluate(self.relations[query.relation_name], valid)
-        except AccessDenied as denial:
-            raise AccessDenied(
-                f"datasource {self.name} denied {query.sql!r}: {denial}"
-            ) from denial
-        return query.evaluate({query.relation_name: permitted})
+        with tracing.span(
+            "execute_partial_query", self.name,
+            kind="mediation", relation=query.relation_name,
+        ):
+            if query.relation_name not in self.relations:
+                raise QueryError(
+                    f"datasource {self.name} does not manage "
+                    f"{query.relation_name!r}"
+                )
+            valid = self.check_credentials(credentials)
+            policy = self.policies[query.relation_name]
+            try:
+                permitted = policy.evaluate(
+                    self.relations[query.relation_name], valid
+                )
+            except AccessDenied as denial:
+                raise AccessDenied(
+                    f"datasource {self.name} denied {query.sql!r}: {denial}"
+                ) from denial
+            return query.evaluate({query.relation_name: permitted})

@@ -23,6 +23,7 @@ from repro.mediation.credentials import Credential
 from repro.relational import sql
 from repro.relational.algebra import AlgebraNode, Join, PartialQuery
 from repro.relational.schema import Schema
+from repro.telemetry import tracing
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,10 @@ class Mediator:
         method enforces that shape and extracts the join attributes from
         the embedded global schema.
         """
+        with tracing.span("decompose_join", self.name, kind="mediation"):
+            return self._decompose_join(query)
+
+    def _decompose_join(self, query: str) -> JoinDecomposition:
         tree = sql.parse(query)
         if self.push_down:
             from repro.relational.optimizer import push_down_selections

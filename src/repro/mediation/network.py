@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.mediation.sizing import estimate_size
+from repro.telemetry import tracing
 from repro.transport.base import (  # re-exported for compatibility
     Message,
     PartyView,
@@ -57,11 +58,18 @@ class Network(Transport):
     def send(self, sender: str, receiver: str, kind: str, body: Any) -> Message:
         """Deliver one message and record it in views and transcript."""
         self._require_parties(sender, receiver)
-        return self._record(
-            self._take_sequence(),
-            sender,
-            receiver,
-            kind,
-            body,
-            ENVELOPE_BYTES + estimate_size(body),
-        )
+        with tracing.span(
+            f"send:{kind}", sender, kind="message", receiver=receiver
+        ) as span:
+            message = self._record(
+                self._take_sequence(),
+                sender,
+                receiver,
+                kind,
+                body,
+                ENVELOPE_BYTES + estimate_size(body),
+            )
+            if span is not None:
+                span.attributes["size_bytes"] = message.size_bytes
+                span.attributes["sequence"] = message.sequence
+            return message

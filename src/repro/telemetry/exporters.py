@@ -1,0 +1,316 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSON snapshots.
+
+Three standard output formats for the telemetry subsystem:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Every span
+  becomes one complete ("X") event; parties map to process rows so a
+  distributed run renders as client/mediator/S1/S2 swimlanes.
+* :func:`prometheus_exposition` — the text exposition format
+  (version 0.0.4) scrapeable by Prometheus, served by
+  :class:`repro.transport.server.PartyServer` and written by the CLI's
+  ``--metrics-out``.
+* :func:`registry_snapshot_json` — the JSON snapshot the benchmarks
+  consume and the endpoints ship over the TELEMETRY control verb.
+
+Each format has a matching ``validate_*`` checker returning a list of
+problems (empty = valid); the CI telemetry job and the exporter tests
+run these instead of depending on external tooling (promtool, a
+browser) the container does not have.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Iterable
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.tracing import Span
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events.
+# ---------------------------------------------------------------------------
+
+def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Render spans as a Trace Event Format document.
+
+    Parties become processes (``pid``) with ``process_name`` metadata,
+    so Perfetto shows one labelled track per party.  Span identity and
+    parent/child edges travel in ``args`` for programmatic consumers.
+    """
+    spans = list(spans)
+    parties = sorted({span.party for span in spans})
+    pid_of = {party: index + 1 for index, party in enumerate(parties)}
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid_of[party],
+            "tid": 0,
+            "args": {"name": party},
+        }
+        for party in parties
+    ]
+    for span in sorted(spans, key=lambda s: s.start):
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "repro",
+                "pid": pid_of[span.party],
+                "tid": 0,
+                "ts": span.start * 1_000_000.0,
+                "dur": max(span.seconds, 0.0) * 1_000_000.0,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "party": span.party,
+                    "status": span.status,
+                    **span.attributes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, indent=2, default=str)
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Schema check for :func:`chrome_trace` output; [] when valid."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: pid must be an integer")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0 or (
+                    isinstance(value, float) and not math.isfinite(value)
+                ):
+                    problems.append(
+                        f"{where}: {field} must be a non-negative number"
+                    )
+            args = event.get("args")
+            if not isinstance(args, dict) or not args.get("trace_id"):
+                problems.append(f"{where}: args.trace_id missing")
+            elif not args.get("span_id"):
+                problems.append(f"{where}: args.span_id missing")
+    span_ids = {
+        event["args"]["span_id"]
+        for event in events
+        if isinstance(event, dict) and event.get("ph") == "X"
+        and isinstance(event.get("args"), dict) and event["args"].get("span_id")
+    }
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        parent = args.get("parent_id")
+        if parent is not None and parent not in span_ids:
+            problems.append(
+                f"traceEvents[{index}]: parent_id {parent!r} names no span"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition.
+# ---------------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [f'{name}="{_escape_label_value(value)}"' for name, value in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, kind, help_text, children in registry.families():
+        lines.append(f"# HELP {name} {help_text or name}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key, child in sorted(children.items()):
+            labels = list(key)
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    bucket_labels = labels + [("le", _format_value(bound))]
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                inf_labels = labels + [("le", "+Inf")]
+                lines.append(
+                    f"{name}_bucket{_render_labels(inf_labels)} {child.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(f"{name}_count{_render_labels(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_exposition(registry))
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Lint a text exposition; returns problems ([] = valid).
+
+    Checks the structural rules Prometheus enforces at scrape time:
+    HELP/TYPE precede samples, metric and label names match the naming
+    grammar, counter names end in ``_total``, sample values parse, and
+    histogram bucket counts are monotonically non-decreasing with a
+    terminal ``+Inf`` bucket equal to ``_count``.
+    """
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(f"line {number}: malformed TYPE line")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP ") or line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line)
+        if not match:
+            problems.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name, labels = match.group("name"), match.group("labels")
+        if labels:
+            for pair in _split_label_pairs(labels[1:-1]):
+                if not _LABEL_PAIR.match(pair):
+                    problems.append(f"line {number}: bad label pair {pair!r}")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family_kind = typed.get(name) or typed.get(base)
+        if family_kind is None:
+            problems.append(f"line {number}: sample {name!r} has no TYPE line")
+            continue
+        if family_kind == "counter" and not name.endswith("_total"):
+            problems.append(f"line {number}: counter {name!r} lacks _total")
+        if family_kind == "histogram":
+            series = f"{base}{labels or ''}"
+            value = float(match.group("value").replace("Inf", "inf"))
+            if name.endswith("_bucket"):
+                bound_match = re.search(r'le="([^"]+)"', labels or "")
+                if bound_match is None:
+                    problems.append(f"line {number}: bucket without le label")
+                    continue
+                raw_bound = bound_match.group(1)
+                bound = math.inf if raw_bound == "+Inf" else float(raw_bound)
+                key = re.sub(r',?le="[^"]*"', "", series).replace("{}", "")
+                buckets.setdefault(key, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[series] = value
+    for series, pairs in buckets.items():
+        pairs.sort(key=lambda p: p[0])
+        cumulative = [count for _, count in pairs]
+        if cumulative != sorted(cumulative):
+            problems.append(f"{series}: bucket counts decrease")
+        if pairs and pairs[-1][0] != math.inf:
+            problems.append(f"{series}: missing +Inf bucket")
+        elif series in counts and pairs[-1][1] != counts[series]:
+            problems.append(f"{series}: +Inf bucket differs from _count")
+    return problems
+
+
+def _split_label_pairs(body: str) -> list[str]:
+    """Split ``k="v",k2="v2"`` respecting escaped quotes."""
+    pairs, current, in_string, escaped = [], [], False, False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\" and in_string:
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+            continue
+        if char == "," and not in_string:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# JSON snapshots.
+# ---------------------------------------------------------------------------
+
+def registry_snapshot_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as pretty JSON (benchmark artifact format)."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+
+
+def write_metrics(path: str, registry: MetricsRegistry) -> None:
+    """Write a registry to ``path``: ``.json`` gets the snapshot, any
+    other extension the Prometheus text exposition."""
+    if path.endswith(".json"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(registry_snapshot_json(registry) + "\n")
+    else:
+        write_prometheus(path, registry)

@@ -1,0 +1,66 @@
+"""Structured per-party logging for the CLI and the serve endpoints.
+
+``repro serve`` historically wrote bare ``print`` lines; this module
+routes everything through :mod:`logging` with one configuration point
+(:func:`configure_logging`, wired to the CLI ``--log-level`` flag) and
+per-party named loggers (:func:`party_logger`), so multi-process demos
+produce timestamped, party-attributed, filterable output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+from repro.errors import TelemetryError
+
+#: The root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def parse_level(level: str) -> int:
+    """``--log-level`` string -> :mod:`logging` level constant."""
+    try:
+        return _LEVELS[level.strip().lower()]
+    except KeyError:
+        raise TelemetryError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure_logging(level: str = "info", stream: TextIO | None = None) -> None:
+    """Install (or retune) the library's stream handler.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers, so tests and long-lived processes can reconfigure freely.
+    Only the ``repro`` logger namespace is touched — applications
+    embedding the library keep control of their own root logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(parse_level(level))
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_handler", False):
+            handler.setStream(stream or sys.stderr)
+            return
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+
+
+def party_logger(party: str) -> logging.Logger:
+    """The logger one party's endpoint and protocol code log through."""
+    return logging.getLogger(f"{ROOT_LOGGER}.party.{party}")

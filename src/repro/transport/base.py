@@ -33,6 +33,12 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import NetworkError
+from repro.telemetry import metrics as _metrics
+
+#: Counter of transcript messages, labelled by transport/sender/receiver/kind.
+TRANSPORT_MESSAGES_METRIC = "repro_transport_messages_total"
+#: Counter of transcript bytes, labelled by transport/sender/receiver/kind.
+TRANSPORT_BYTES_METRIC = "repro_transport_bytes_total"
 
 
 @dataclass(frozen=True)
@@ -141,6 +147,22 @@ class Transport(ABC):
         self._messages.append(message)
         self._parties[sender].sent.append(message)
         self._parties[receiver].received.append(message)
+        registry = _metrics.get_registry()
+        if registry is not None:
+            labels = {
+                "transport": type(self).__name__,
+                "sender": sender,
+                "receiver": receiver,
+                "kind": kind,
+            }
+            registry.counter(
+                TRANSPORT_MESSAGES_METRIC, labels,
+                help_text="Messages recorded in the transport transcript",
+            ).inc()
+            registry.counter(
+                TRANSPORT_BYTES_METRIC, labels,
+                help_text="Bytes recorded in the transport transcript",
+            ).inc(size_bytes)
         return message
 
     # -- transcript queries ---------------------------------------------------

@@ -8,7 +8,9 @@ credentials — must survive a real wire.  This module defines:
   payload trees the protocols exchange (primitives, containers, and a
   registry of domain extension types),
 * an **envelope codec**: the ``(sequence, sender, receiver, kind, body)``
-  tuple every transmitted message is wrapped in,
+  tuple every transmitted message is wrapped in, optionally extended
+  with a sixth ``(trace_id, span_id)`` element carrying distributed
+  trace context (see ``docs/observability.md``),
 * **framing**: an 8-byte frame header (magic, version, frame type,
   payload length) plus asyncio stream helpers.
 
@@ -69,9 +71,11 @@ HELLO = 0x03   # endpoint handshake request
 OK = 0x04      # handshake / control success
 FETCH = 0x05   # request the endpoint's recorded view
 VIEW = 0x06    # response to FETCH
+TELEMETRY = 0x07       # request the endpoint's spans and metrics
+TELEMETRY_DATA = 0x08  # response to TELEMETRY
 ERROR = 0x7F   # remote failure report
 
-_FRAME_TYPES = {DATA, ACK, HELLO, OK, FETCH, VIEW, ERROR}
+_FRAME_TYPES = {DATA, ACK, HELLO, OK, FETCH, VIEW, TELEMETRY, TELEMETRY_DATA, ERROR}
 
 # -- value tags ---------------------------------------------------------------
 
@@ -495,22 +499,49 @@ def encoded_size(value: Any) -> int:
 
 
 def encode_envelope(
-    sequence: int, sender: str, receiver: str, kind: str, body: Any
+    sequence: int,
+    sender: str,
+    receiver: str,
+    kind: str,
+    body: Any,
+    trace: tuple[str, str] | None = None,
 ) -> bytes:
-    """Encode one message envelope (the payload of a DATA frame)."""
-    return encode_value((sequence, sender, receiver, kind, body))
+    """Encode one message envelope (the payload of a DATA frame).
+
+    ``trace`` is an optional ``(trace_id, span_id)`` pair identifying
+    the sender-side span this message belongs to.  Untraced envelopes
+    keep the historical 5-tuple wire shape byte-for-byte.
+    """
+    if trace is None:
+        return encode_value((sequence, sender, receiver, kind, body))
+    return encode_value((sequence, sender, receiver, kind, body, trace))
 
 
-def decode_envelope(data: bytes) -> tuple[int, str, str, str, Any]:
-    """Inverse of :func:`encode_envelope`, with shape validation."""
+def decode_envelope(
+    data: bytes,
+) -> tuple[int, str, str, str, Any, tuple[str, str] | None]:
+    """Inverse of :func:`encode_envelope`, with shape validation.
+
+    Always returns a 6-tuple; the trailing trace context is ``None``
+    for untraced (5-element) envelopes.
+    """
     envelope = decode_value(data)
     if (
         not isinstance(envelope, tuple)
-        or len(envelope) != 5
+        or len(envelope) not in (5, 6)
         or not isinstance(envelope[0], int)
         or not all(isinstance(part, str) for part in envelope[1:4])
     ):
         raise EncodingError("malformed message envelope")
+    if len(envelope) == 5:
+        return (*envelope, None)
+    trace = envelope[5]
+    if (
+        not isinstance(trace, tuple)
+        or len(trace) != 2
+        or not all(isinstance(part, str) for part in trace)
+    ):
+        raise EncodingError("malformed envelope trace context")
     return envelope
 
 

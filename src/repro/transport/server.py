@@ -14,7 +14,16 @@ Endpoints speak a tiny control protocol next to DATA frames:
 * ``FETCH {}``       -> ``VIEW [record, ...]`` — the endpoint's recorded
   view, for reconciling remote observations against the sender-side
   transcript.
+* ``TELEMETRY {}``   -> ``TELEMETRY_DATA {spans, metrics, exposition}`` —
+  the endpoint's collected telemetry: ``recv:`` spans (stitched into the
+  sender's trace via the envelope's trace context), a metrics snapshot,
+  and a rendered Prometheus text exposition.
 * misdelivered or malformed frames -> ``ERROR {error}``.
+
+Every endpoint owns a private span collector and metrics registry —
+independent of the process-wide installed telemetry — so a ``repro
+serve`` process accumulates its party's observations and hands them to
+whichever querying process asks.
 
 Fault injection for tests: ``max_messages=N`` makes the endpoint drop
 the connection *without acknowledging* the (N+1)-th data message and
@@ -27,7 +36,15 @@ import asyncio
 from dataclasses import asdict, dataclass
 
 from repro.errors import NetworkError
+from repro.telemetry.exporters import prometheus_exposition
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import SpanContext, Tracer
 from repro.transport import codec
+
+#: Counter of data messages received at an endpoint.
+ENDPOINT_MESSAGES_METRIC = "repro_endpoint_messages_total"
+#: Counter of wire bytes received at an endpoint.
+ENDPOINT_BYTES_METRIC = "repro_endpoint_bytes_total"
 
 
 @dataclass(frozen=True)
@@ -62,6 +79,9 @@ class PartyServer:
         self.host = host
         self.port = port
         self.records: list[RemoteRecord] = []
+        #: Endpoint-local telemetry collectors, harvested via TELEMETRY.
+        self.tracer = Tracer(service=f"repro.endpoint.{party}")
+        self.registry = MetricsRegistry()
         self._max_messages = max_messages
         self._on_message = on_message
         self._server: asyncio.AbstractServer | None = None
@@ -139,6 +159,13 @@ class PartyServer:
             view = [asdict(record) for record in self.records]
             await codec.write_frame(writer, codec.VIEW, codec.encode_value(view))
             return False
+        if frame_type == codec.TELEMETRY:
+            await codec.write_frame(
+                writer,
+                codec.TELEMETRY_DATA,
+                codec.encode_value(self.telemetry_snapshot()),
+            )
+            return False
         await codec.write_frame(
             writer,
             codec.ERROR,
@@ -160,8 +187,8 @@ class PartyServer:
             writer.transport.abort()
             return True
         try:
-            sequence, sender, receiver, kind, _body = codec.decode_envelope(
-                payload
+            sequence, sender, receiver, kind, _body, trace = (
+                codec.decode_envelope(payload)
             )
         except Exception as exc:  # malformed payload: report, keep serving
             await codec.write_frame(
@@ -191,6 +218,7 @@ class PartyServer:
             kind=kind,
             wire_bytes=codec.FRAME_HEADER_BYTES + len(payload),
         )
+        self._observe(record, SpanContext.from_wire(trace))
         self.records.append(record)
         if self._on_message is not None:
             self._on_message(record)
@@ -202,3 +230,50 @@ class PartyServer:
             ),
         )
         return False
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _observe(
+        self, record: RemoteRecord, parent: SpanContext | None
+    ) -> None:
+        """Record one received message into the endpoint collectors.
+
+        When the envelope carried trace context, the ``recv:`` span is
+        parented on the sender's ``send:`` span — that edge is what
+        stitches per-process traces into one distributed trace.
+        """
+        if parent is not None:
+            span = self.tracer.start_span(
+                f"recv:{record.kind}",
+                self.party,
+                parent=parent,
+                attributes={
+                    "kind": "message",
+                    "sender": record.sender,
+                    "sequence": record.sequence,
+                    "wire_bytes": record.wire_bytes,
+                },
+            )
+            self.tracer.end_span(span)
+        labels = {
+            "party": self.party,
+            "sender": record.sender,
+            "kind": record.kind,
+        }
+        self.registry.counter(
+            ENDPOINT_MESSAGES_METRIC, labels,
+            help_text="Data messages received at a party endpoint",
+        ).inc()
+        self.registry.counter(
+            ENDPOINT_BYTES_METRIC, labels,
+            help_text="Wire bytes received at a party endpoint",
+        ).inc(record.wire_bytes)
+
+    def telemetry_snapshot(self) -> dict:
+        """Spans, metrics snapshot, and exposition for TELEMETRY_DATA."""
+        return {
+            "party": self.party,
+            "spans": [span.to_dict() for span in self.tracer.spans],
+            "metrics": self.registry.snapshot(),
+            "exposition": prometheus_exposition(self.registry),
+        }

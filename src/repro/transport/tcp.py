@@ -43,6 +43,9 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.errors import NetworkError
+from repro.telemetry import tracing
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+from repro.telemetry.tracing import Span, Tracer
 from repro.transport import codec
 from repro.transport.base import Message, Transport
 from repro.transport.server import PartyServer, RemoteRecord
@@ -129,21 +132,31 @@ class TcpTransport(Transport):
     def send(self, sender: str, receiver: str, kind: str, body: Any) -> Message:
         """Serialize, frame, transmit, and await the acknowledgement."""
         self._require_parties(sender, receiver)
-        sequence = self._take_sequence()
-        payload = codec.encode_envelope(sequence, sender, receiver, kind, body)
-        frame = codec.build_frame(codec.DATA, payload)
-        ack = self._run(self._deliver(receiver, frame))
-        if not isinstance(ack, dict) or ack.get("sequence") != sequence:
-            raise NetworkError(
-                f"endpoint {receiver!r} acknowledged the wrong message "
-                f"(expected #{sequence}, got {ack!r})"
+        with tracing.span(
+            f"send:{kind}", sender, kind="message", receiver=receiver
+        ) as span:
+            sequence = self._take_sequence()
+            trace = span.context().to_wire() if span is not None else None
+            payload = codec.encode_envelope(
+                sequence, sender, receiver, kind, body, trace=trace
             )
-        # The recorded body is the decoded wire payload: whatever the
-        # receiver could reconstruct is what the transcript carries.
-        _, _, _, _, decoded_body = codec.decode_envelope(payload)
-        return self._record(
-            sequence, sender, receiver, kind, decoded_body, len(frame)
-        )
+            frame = codec.build_frame(codec.DATA, payload)
+            ack = self._run(self._deliver(receiver, frame))
+            if not isinstance(ack, dict) or ack.get("sequence") != sequence:
+                raise NetworkError(
+                    f"endpoint {receiver!r} acknowledged the wrong message "
+                    f"(expected #{sequence}, got {ack!r})"
+                )
+            # The recorded body is the decoded wire payload: whatever the
+            # receiver could reconstruct is what the transcript carries.
+            _, _, _, _, decoded_body, _ = codec.decode_envelope(payload)
+            message = self._record(
+                sequence, sender, receiver, kind, decoded_body, len(frame)
+            )
+            if span is not None:
+                span.attributes["size_bytes"] = message.size_bytes
+                span.attributes["sequence"] = message.sequence
+            return message
 
     def remote_view(self, party: str) -> list[RemoteRecord]:
         """Fetch the view recorded at a party's endpoint (FETCH/VIEW)."""
@@ -153,6 +166,55 @@ class TcpTransport(Transport):
             self._request(party, codec.FETCH, {}, expect=codec.VIEW)
         )
         return [RemoteRecord(**record) for record in response]
+
+    def remote_telemetry(self, party: str) -> dict:
+        """Fetch the telemetry collected at a party's endpoint.
+
+        Returns the ``TELEMETRY_DATA`` payload: ``{"party", "spans",
+        "metrics", "exposition"}`` (see
+        :meth:`repro.transport.server.PartyServer.telemetry_snapshot`).
+        """
+        if party not in self._parties:
+            raise NetworkError(f"unknown party {party!r}")
+        response = self._run(
+            self._request(
+                party, codec.TELEMETRY, {}, expect=codec.TELEMETRY_DATA
+            )
+        )
+        if not isinstance(response, dict):
+            raise NetworkError(
+                f"endpoint {party!r} returned a malformed telemetry "
+                f"snapshot: {type(response).__name__}"
+            )
+        return response
+
+    def harvest_telemetry(
+        self,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> dict[str, dict]:
+        """Pull every endpoint's telemetry into the caller's collectors.
+
+        Endpoint ``recv:`` spans are adopted into ``tracer`` (default:
+        the installed tracer) and endpoint metric families merged into
+        ``registry`` (default: the installed registry) — after this, the
+        caller holds one stitched distributed trace and one combined
+        registry.  Returns the raw per-party snapshots.
+        """
+        tracer = tracer if tracer is not None else tracing.get_tracer()
+        registry = registry if registry is not None else get_registry()
+        snapshots: dict[str, dict] = {}
+        for party in self._parties:
+            snapshot = self.remote_telemetry(party)
+            snapshots[party] = snapshot
+            if tracer is not None:
+                tracer.adopt(
+                    Span.from_dict(record)
+                    for record in snapshot.get("spans", [])
+                )
+            if registry is not None and snapshot.get("metrics"):
+                registry.merge(snapshot["metrics"])
+        return snapshots
 
     # -- teardown ------------------------------------------------------------
 
@@ -301,3 +363,45 @@ class TcpTransport(Transport):
                 f"endpoint at {host}:{port} identifies as {answered!r}, "
                 f"expected {party!r}"
             )
+
+
+def fetch_telemetry(host: str, port: int, timeout: float = 10.0) -> dict:
+    """One-shot TELEMETRY request against a running endpoint.
+
+    Used by ``repro telemetry`` to inspect a ``serve`` process without
+    constructing a full transport.
+    """
+
+    async def _fetch() -> dict:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            raise NetworkError(
+                f"cannot reach endpoint at {host}:{port}: {exc}"
+            ) from exc
+        try:
+            await codec.write_frame(
+                writer, codec.TELEMETRY, codec.encode_value({})
+            )
+            frame_type, payload = await codec.read_frame(reader, timeout)
+        except asyncio.TimeoutError as exc:
+            raise NetworkError(
+                f"timed out after {timeout}s waiting for telemetry from "
+                f"{host}:{port}"
+            ) from exc
+        finally:
+            writer.close()
+        value = codec.decode_value(payload)
+        if frame_type == codec.ERROR:
+            detail = value.get("error") if isinstance(value, dict) else value
+            raise NetworkError(f"endpoint at {host}:{port} reported: {detail}")
+        if frame_type != codec.TELEMETRY_DATA or not isinstance(value, dict):
+            raise NetworkError(
+                f"endpoint at {host}:{port} answered with unexpected frame "
+                f"type 0x{frame_type:02x}"
+            )
+        return value
+
+    return asyncio.run(_fetch())

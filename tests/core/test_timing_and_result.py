@@ -3,11 +3,16 @@
 import time
 
 from repro.core.result import MediationResult, StepTiming
-from repro.core.timing import timed
+from repro.core.timing import (
+    STEP_FAILURES_METRIC,
+    STEP_SECONDS_METRIC,
+    timed,
+)
 from repro.crypto.instrumentation import PrimitiveCounter
 from repro.mediation.network import Network
 from repro.relational.relation import Relation
 from repro.relational.schema import schema
+from repro.telemetry import MetricsRegistry, Tracer, use_metrics, use_tracer
 
 
 def make_result():
@@ -41,6 +46,59 @@ class TestTimed:
         except RuntimeError:
             pass
         assert result.timings[0].step == "failing"
+
+    def test_failing_step_still_records_duration_and_is_marked(self):
+        result = make_result()
+        try:
+            with timed(result, "client", "failing"):
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        timing = result.timings[0]
+        assert timing.seconds >= 0.01
+        assert timing.ok is False
+        assert result.failed_steps() == [timing]
+        assert "client/failing" in result.summary()
+
+    def test_successful_step_marked_ok(self):
+        result = make_result()
+        with timed(result, "client", "work"):
+            pass
+        assert result.timings[0].ok is True
+        assert result.failed_steps() == []
+
+    def test_feeds_histogram_and_failure_counter(self):
+        result = make_result()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with timed(result, "client", "work"):
+                pass
+            try:
+                with timed(result, "client", "work"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        labels = {"party": "client", "step": "work"}
+        histogram = registry.histogram(STEP_SECONDS_METRIC, labels)
+        assert histogram.count == 2
+        assert registry.value(STEP_FAILURES_METRIC, labels) == 1
+
+    def test_opens_a_step_span(self):
+        result = make_result()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with timed(result, "client", "work"):
+                pass
+            try:
+                with timed(result, "client", "bad"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        (work,) = tracer.find("work")
+        (bad,) = tracer.find("bad")
+        assert work.party == "client" and work.status == "ok"
+        assert bad.status == "error"
 
 
 class TestMediationResult:

@@ -63,6 +63,7 @@ def run_on(ca, client, rows_1, rows_2, protocol, config):
             message.receiver,
             message.kind,
             message.body,
+            None,  # no trace context attached outside a traced run
         )
     return result
 

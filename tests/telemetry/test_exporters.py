@@ -1,0 +1,169 @@
+"""Tests for the Chrome-trace, Prometheus, and JSON exporters."""
+
+import json
+
+from repro.telemetry.exporters import (
+    chrome_trace,
+    prometheus_exposition,
+    registry_snapshot_json,
+    validate_chrome_trace,
+    validate_exposition,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.logsetup import configure_logging, parse_level, party_logger
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("run", "client"):
+        with tracer.span("step", "S1", attributes={"items": 2}):
+            pass
+    return tracer
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_demo_ops_total", {"op": 'quo"ted\\'}, help_text="demo"
+    ).inc(3)
+    registry.gauge("repro_demo_level").set(1.5)
+    registry.histogram("repro_demo_seconds", {"step": "s"}).observe(0.02)
+    return registry
+
+
+class TestChromeTrace:
+    def test_structure_and_validation(self):
+        tracer = sample_tracer()
+        document = chrome_trace(tracer.spans)
+        assert validate_chrome_trace(document) == []
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"run", "step"}
+        assert {e["args"]["name"] for e in metadata} == {"client", "S1"}
+        # Parties map to distinct pids.
+        assert len({e["pid"] for e in metadata}) == 2
+
+    def test_parent_edges_preserved(self):
+        tracer = sample_tracer()
+        document = chrome_trace(tracer.spans)
+        by_name = {
+            e["name"]: e for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert (
+            by_name["step"]["args"]["parent_id"]
+            == by_name["run"]["args"]["span_id"]
+        )
+
+    def test_validator_flags_dangling_parent(self):
+        tracer = sample_tracer()
+        document = chrome_trace(tracer.spans)
+        for event in document["traceEvents"]:
+            if event["ph"] == "X" and event["name"] == "step":
+                event["args"]["parent_id"] = "deadbeef"
+        assert any(
+            "parent_id" in problem
+            for problem in validate_chrome_trace(document)
+        )
+
+    def test_write_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), sample_tracer().spans)
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+
+
+class TestPrometheus:
+    def test_exposition_lints_clean(self):
+        text = prometheus_exposition(sample_registry())
+        assert validate_exposition(text) == []
+        assert "# TYPE repro_demo_ops_total counter" in text
+        assert "# TYPE repro_demo_seconds histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_label_escaping(self):
+        text = prometheus_exposition(sample_registry())
+        assert 'op="quo\\"ted\\\\"' in text
+
+    def test_lint_catches_missing_type(self):
+        assert validate_exposition("repro_x_total 3\n")
+
+    def test_lint_catches_counter_without_total(self):
+        bad = "# TYPE repro_x counter\nrepro_x 3\n"
+        assert any("_total" in p for p in validate_exposition(bad))
+
+    def test_lint_catches_decreasing_buckets(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1\n"
+            "h_count 2\n"
+        )
+        assert any("decrease" in p for p in validate_exposition(bad))
+
+    def test_lint_catches_inf_count_mismatch(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        assert any("_count" in p for p in validate_exposition(bad))
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_exposition(MetricsRegistry()) == ""
+        assert validate_exposition("") == []
+
+
+class TestWriteMetrics:
+    def test_json_extension_gets_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(str(path), sample_registry())
+        snapshot = json.loads(path.read_text())
+        assert "repro_demo_ops_total" in snapshot
+
+    def test_other_extension_gets_exposition(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_metrics(str(path), sample_registry())
+        assert validate_exposition(path.read_text()) == []
+
+    def test_snapshot_json_round_trips(self):
+        registry = sample_registry()
+        restored = json.loads(registry_snapshot_json(registry))
+        other = MetricsRegistry()
+        other.merge(restored)
+        assert other.value("repro_demo_ops_total", {"op": 'quo"ted\\'}) == 3
+
+
+class TestLogging:
+    def test_parse_level(self):
+        import logging
+
+        assert parse_level("debug") == logging.DEBUG
+        assert parse_level("WARNING") == logging.WARNING
+
+    def test_unknown_level_raises(self):
+        import pytest
+
+        from repro.errors import TelemetryError
+
+        with pytest.raises(TelemetryError):
+            parse_level("chatty")
+
+    def test_party_logger_namespacing_and_idempotent_setup(self):
+        import logging
+
+        configure_logging("info")
+        configure_logging("debug")  # reconfigures, must not stack handlers
+        log = party_logger("S1")
+        assert log.name == "repro.party.S1"
+        root = logging.getLogger("repro")
+        marked = [
+            h for h in root.handlers if getattr(h, "_repro_handler", False)
+        ]
+        assert len(marked) == 1

@@ -1,0 +1,125 @@
+"""Tests for the metrics registry and its serialization."""
+
+import pytest
+
+from repro.crypto import instrumentation
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    PRIMITIVE_OPS_METRIC,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    use_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonicity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("x_total") == 5
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_counter_requires_total_suffix(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("bad_name")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(3)
+        gauge.dec(1)
+        assert registry.value("g") == 2
+
+    def test_histogram_buckets(self):
+        histogram = Histogram((0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(55.55)
+        assert histogram.cumulative() == [(0.1, 1), (1.0, 2), (10.0, 3)]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(TelemetryError):
+            Histogram((1.0, 0.5))
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("thing")
+        with pytest.raises(TelemetryError):
+            registry.histogram("thing")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.gauge("has space")
+        with pytest.raises(TelemetryError):
+            registry.gauge("ok", {"bad-label": 1})
+
+    def test_labels_key_children_independently(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", {"a": "1"}).inc()
+        registry.counter("m_total", {"a": "2"}).inc(2)
+        assert registry.value("m_total", {"a": "1"}) == 1
+        assert registry.value("m_total", {"a": "2"}) == 2
+        assert registry.total("m_total") == 3
+
+
+class TestPrimitiveShim:
+    def test_record_forwards_into_registry_and_counter(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with instrumentation.count_primitives() as counter:
+                instrumentation.record("hash.ideal", 3)
+                instrumentation.record("commutative.encrypt")
+        assert dict(counter.counts) == registry.primitive_counts()
+        assert registry.value(
+            PRIMITIVE_OPS_METRIC, {"operation": "hash.ideal"}
+        ) == 3
+
+    def test_no_registry_is_a_noop(self):
+        assert get_registry() is None
+        instrumentation.record("hash.ideal")  # must not raise
+
+
+class TestSnapshotMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total").inc(2)
+        a.gauge("g").set(1)
+        b.counter("c_total").inc(3)
+        b.gauge("g").set(9)
+        a.merge(b.snapshot())
+        assert a.value("c_total") == 5
+        assert a.value("g") == 9
+
+    def test_histograms_add_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, value in ((a, 0.05), (b, 0.5)):
+            registry.histogram("h", buckets=(0.1, 1.0)).observe(value)
+        a.merge(b.snapshot())
+        merged = a.histogram("h", buckets=(0.1, 1.0))
+        assert merged.count == 2
+        assert merged.cumulative() == [(0.1, 1), (1.0, 2)]
+
+    def test_mismatched_bucket_layouts_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(0.1, 1.0)).observe(0.05)
+        b.histogram("h", buckets=(0.2, 2.0)).observe(0.05)
+        with pytest.raises(TelemetryError):
+            a.merge(b.snapshot())
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total", {"k": "v"}).inc()
+        registry.histogram("h").observe(0.2)
+        restored = json.loads(json.dumps(registry.snapshot()))
+        other = MetricsRegistry()
+        other.merge(restored)
+        assert other.value("c_total", {"k": "v"}) == 1

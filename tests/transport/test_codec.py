@@ -184,7 +184,7 @@ class TestEnvelopeAndFraming:
     def test_envelope_roundtrip(self):
         payload = codec.encode_envelope(3, "S1", "mediator", "kind", {"a": 1})
         assert codec.decode_envelope(payload) == (
-            3, "S1", "mediator", "kind", {"a": 1},
+            3, "S1", "mediator", "kind", {"a": 1}, None,
         )
 
     def test_malformed_envelope_rejected(self):
