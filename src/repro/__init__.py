@@ -33,6 +33,7 @@ from repro.core import (
     Federation,
     MediationResult,
     PMConfig,
+    RunFailure,
     reference_join,
     run_join_query,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "Federation",
     "MediationResult",
     "PMConfig",
+    "RunFailure",
     "reference_join",
     "run_join_query",
     "setup_client",

@@ -39,7 +39,9 @@ from repro.analysis import analyze, compare, primitive_profile, render, table1, 
 from repro.analysis.export import export_run_json
 from repro.core.runner import PROTOCOLS
 from repro.crypto.engine import CryptoEngine, set_engine
+from repro.faults import FaultInjector, FaultPlan, FaultyTransport
 from repro.mediation.access_control import allow_all
+from repro.mediation.network import Network
 from repro.mediation.client import default_homomorphic_scheme
 from repro.relational import csvio
 from repro.relational.datagen import WorkloadSpec, Workload, generate
@@ -269,20 +271,45 @@ def _parse_endpoints(pairs: list[str]) -> dict[str, tuple[str, int]]:
 def _command_query(args) -> int:
     relation_1 = csvio.load(args.name1, args.csv1)
     relation_2 = csvio.load(args.name2, args.csv2)
+    if args.fault_log and not args.fault_plan:
+        raise SystemExit("--fault-log requires --fault-plan")
+    injector = None
+    if args.fault_plan:
+        injector = FaultInjector(FaultPlan.load(args.fault_plan))
     transport = None
     if args.transport == "tcp":
         # Mediator and sources must already be listening (``repro
         # serve``); the client's own endpoint is hosted in this process.
         transport = TcpTransport(endpoints=_parse_endpoints(args.endpoint))
+    network: Transport | None = transport
+    if injector is not None:
+        # A fault plan needs a carrier to wrap — over the bus that means
+        # constructing the (otherwise implicit) Network explicitly.
+        network = FaultyTransport(transport or Network(), injector)
     try:
         federation = _build_federation(
             relation_1, relation_2, args.rsa_bits, args.paillier_bits,
-            network=transport,
+            network=network,
         )
         sql = args.sql or (
             f"select * from {args.name1} natural join {args.name2}"
         )
-        result = run_join_query(federation, sql, protocol=args.protocol)
+        hardened = injector is not None or args.deadline is not None
+        result = run_join_query(
+            federation, sql, protocol=args.protocol,
+            on_failure="return" if hardened else "raise",
+            deadline_seconds=args.deadline,
+        )
+        if not result.ok:
+            # Graceful degradation: the structured failure, never a
+            # traceback.  Partial telemetry still exports on exit.
+            print(result.summary())
+            if transport is not None and get_tracer() is not None:
+                try:
+                    transport.harvest_telemetry()
+                except Exception:
+                    pass  # surviving endpoints only; some may be dead
+            return 2
         if args.output:
             csvio.dump(result.global_result, args.output)
             print(f"{len(result.global_result)} rows written to {args.output}")
@@ -304,8 +331,13 @@ def _command_query(args) -> int:
                 # client, mediator, and both sources as one trace.
                 transport.harvest_telemetry()
     finally:
-        if transport is not None:
-            transport.close()
+        if injector is not None and args.fault_log:
+            with open(args.fault_log, "w", encoding="utf-8") as handle:
+                text = injector.event_log_text()
+                handle.write(text + "\n" if text else "")
+            print(f"fault log written to {args.fault_log}", file=sys.stderr)
+        if network is not None:
+            network.close()
     return 0
 
 
@@ -451,6 +483,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--endpoint", action="append", default=[], metavar="PARTY=HOST:PORT",
         help="TCP endpoint of a remote party (repeatable; defaults: "
              "mediator=127.0.0.1:7401, S1=...:7402, S2=...:7403)",
+    )
+    query.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.json",
+        help="inject the faults described in this JSON plan (see "
+             "docs/robustness.md); failures become structured RunFailure "
+             "output with exit code 2",
+    )
+    query.add_argument(
+        "--fault-log", default=None, metavar="PATH",
+        help="write the deterministic fault-event log here (requires "
+             "--fault-plan; byte-identical across same-seed runs)",
+    )
+    query.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="overall run deadline, propagated into every transport wait",
     )
     _add_crypto_arguments(query)
     _add_telemetry_arguments(query)

@@ -14,7 +14,7 @@ from repro.core.das import DASConfig, run_das_delivery
 from repro.core.federation import Federation
 from repro.core.private_matching import PMConfig, run_private_matching_delivery
 from repro.core.request import run_request_phase
-from repro.core.result import MediationResult
+from repro.core.result import MediationResult, RunFailure
 from repro.core.runner import PROTOCOLS, reference_join, run_join_query
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "MediationResult",
     "PMConfig",
     "PROTOCOLS",
+    "RunFailure",
     "reference_join",
     "run_commutative_delivery",
     "run_das_delivery",

@@ -83,3 +83,57 @@ class MediationResult:
             names = ", ".join(f"{t.party}/{t.step}" for t in failed)
             lines.append(f"failed:   {names}")
         return "\n".join(lines)
+
+    @property
+    def ok(self) -> bool:
+        """True — pairs with :attr:`RunFailure.ok` for uniform handling."""
+        return True
+
+
+@dataclass
+class RunFailure:
+    """A protocol run that did not finish — structured, not a traceback.
+
+    Returned by :func:`repro.core.runner.run_join_query` under
+    ``on_failure="return"`` when the run is interrupted (a crashed
+    party, exhausted retries, an expired deadline).  It preserves the
+    *partial* observables — the transcript recorded before the failure
+    and any injected-fault events — so a chaos run can still be
+    analysed, compared, and exported like a successful one.
+    """
+
+    protocol: str
+    query: str
+    #: Where the run died: ``"request"``, ``"delivery"``, or
+    #: ``"postprocessing"``.
+    phase: str
+    #: The raised error's class name and message (the error object
+    #: itself is deliberately not kept: a RunFailure is plain data).
+    error_type: str
+    error_message: str
+    network: Transport | None = None
+    #: Deterministic fault-event summaries, when the transport carried
+    #: a :class:`~repro.faults.transport.FaultyTransport`.
+    fault_events: list[str] = field(default_factory=list)
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def messages_delivered(self) -> int:
+        return len(self.network.transcript) if self.network is not None else 0
+
+    def summary(self) -> str:
+        lines = [
+            f"protocol: {self.protocol}",
+            f"query:    {self.query}",
+            f"FAILED:   {self.error_type} during the {self.phase} phase",
+            f"error:    {self.error_message}",
+            f"partial:  {self.messages_delivered()} messages delivered "
+            "before the failure",
+        ]
+        if self.fault_events:
+            lines.append("injected faults:")
+            lines.extend(f"  {event}" for event in self.fault_events)
+        return "\n".join(lines)

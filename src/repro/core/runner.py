@@ -16,9 +16,10 @@ from repro.core.das import DASConfig, run_das_delivery
 from repro.core.federation import Federation
 from repro.core.private_matching import PMConfig, run_private_matching_delivery
 from repro.core.request import RequestPhaseOutcome, run_request_phase
-from repro.core.result import MediationResult
+from repro.core.result import MediationResult, RunFailure
 from repro.crypto.engine import CryptoEngine
-from repro.errors import ProtocolError
+from repro.deadline import deadline
+from repro.errors import ProtocolError, ReproError
 from repro.relational.algebra import evaluate_above_join
 from repro.relational.relation import Relation
 from repro.telemetry import tracing
@@ -37,7 +38,10 @@ def run_join_query(
     protocol: str = "commutative",
     config: Any = None,
     engine: CryptoEngine | None = None,
-) -> MediationResult:
+    *,
+    on_failure: str = "raise",
+    deadline_seconds: float | None = None,
+) -> MediationResult | RunFailure:
     """Run a global join query end to end under the named protocol.
 
     ``protocol`` is one of ``"das"``, ``"commutative"`` (the paper's
@@ -47,6 +51,19 @@ def run_join_query(
     :class:`CommutativeConfig`, or :class:`PMConfig`) or None for
     defaults.  ``engine`` selects the crypto execution engine (serial,
     pooled, or legacy); None uses the process-wide installed engine.
+
+    Robustness knobs (see ``docs/robustness.md``):
+
+    * ``deadline_seconds`` installs a :mod:`repro.deadline` budget for
+      the whole run; every transport wait below shortens itself to the
+      remaining budget and the run fails with
+      :class:`~repro.errors.DeadlineExceeded` once it is spent.
+    * ``on_failure="return"`` degrades gracefully: a run interrupted by
+      a :class:`~repro.errors.ReproError` (crashed party, exhausted
+      retries, expired deadline) returns a structured
+      :class:`~repro.core.result.RunFailure` — carrying the partial
+      transcript and any injected-fault events — instead of raising.
+      Usage errors (unknown protocol, wrong config type) always raise.
     """
     if protocol not in PROTOCOLS:
         raise ProtocolError(
@@ -58,23 +75,59 @@ def run_join_query(
             f"protocol {protocol!r} expects a {config_type.__name__}, "
             f"got {type(config).__name__}"
         )
+    if on_failure not in ("raise", "return"):
+        raise ProtocolError(
+            f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+        )
     client_party = federation.client.name if federation.client else "client"
-    with tracing.span(
-        "run_join_query", client_party, kind="run", protocol=protocol
-    ):
-        with tracing.span("request_phase", client_party, kind="phase"):
-            outcome = run_request_phase(federation, query)
-        with tracing.span(
-            "delivery", client_party, kind="phase", protocol=protocol
+    phase = "request"
+    try:
+        with deadline(deadline_seconds), tracing.span(
+            "run_join_query", client_party, kind="run", protocol=protocol
         ):
-            result = delivery(federation, outcome, config, engine=engine)
-        # The protocols deliver the JOIN; remaining operators of the global
-        # query (selection, projection) are the client's local post-work.
-        tree = outcome.decomposition.tree
-        join_rows = len(result.global_result)
-        result.global_result = evaluate_above_join(tree, result.global_result)
-        result.artifacts["join_rows_before_postprocessing"] = join_rows
-        return result
+            with tracing.span("request_phase", client_party, kind="phase"):
+                outcome = run_request_phase(federation, query)
+            phase = "delivery"
+            with tracing.span(
+                "delivery", client_party, kind="phase", protocol=protocol
+            ):
+                result = delivery(federation, outcome, config, engine=engine)
+            # The protocols deliver the JOIN; remaining operators of the
+            # global query (selection, projection) are the client's local
+            # post-work.
+            phase = "postprocessing"
+            tree = outcome.decomposition.tree
+            join_rows = len(result.global_result)
+            result.global_result = evaluate_above_join(
+                tree, result.global_result
+            )
+            result.artifacts["join_rows_before_postprocessing"] = join_rows
+            return result
+    except ReproError as exc:
+        if on_failure != "return":
+            raise
+        return _describe_failure(federation, query, protocol, phase, exc)
+
+
+def _describe_failure(
+    federation: Federation,
+    query: str,
+    protocol: str,
+    phase: str,
+    error: ReproError,
+) -> RunFailure:
+    """Structured degradation: partial observables instead of a traceback."""
+    network = federation.network
+    events = getattr(network, "fault_events", [])
+    return RunFailure(
+        protocol=protocol,
+        query=query,
+        phase=phase,
+        error_type=type(error).__name__,
+        error_message=str(error),
+        network=network,
+        fault_events=[event.summary() for event in events],
+    )
 
 
 def reference_join(

@@ -88,11 +88,72 @@ class CredentialError(MediationError):
 class NetworkError(MediationError):
     """Transport failure: unknown party or undeliverable message on the
     bus; refused connection, acknowledgement timeout, handshake
-    mismatch, or mid-protocol disconnect on the TCP transport."""
+    mismatch, or mid-protocol disconnect on the TCP transport.
+
+    Contract (tested): every NetworkError raised by a TCP transport
+    operation names the remote host, port, and the timeout budget that
+    governed the failed wait, so an operator can act on the message
+    without consulting the transport configuration.
+    """
+
+
+class DeadlineExceeded(NetworkError):
+    """A propagated run deadline expired before the operation finished.
+
+    Raised instead of starting (or while waiting on) a transport call
+    once the :class:`repro.deadline.Deadline` installed by the runner
+    has no budget left.
+    """
+
+
+class FaultInjectedError(NetworkError):
+    """A failure deliberately injected by a fault plan.
+
+    Subclasses NetworkError so hardened code paths treat injected
+    faults exactly like organic transport failures; tests can still
+    tell them apart.  ``retryable`` mirrors whether the underlying
+    fault models a transient condition (a dropped or garbled message)
+    or a permanent one (a crashed party).
+    """
+
+    def __init__(self, message: str, *, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
 
 
 class ProtocolError(MediationError):
     """A protocol step was violated (wrong message, wrong order, bad state)."""
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+
+class CodecError(ReproError):
+    """Base class for wire-format failures in :mod:`repro.transport.codec`.
+
+    The codec's contract (fuzz-tested): any byte string — truncated,
+    corrupted, oversized, or adversarial — fed to a decode entry point
+    either decodes cleanly or raises a CodecError subclass.  It never
+    hangs, never trips an ``assert``, and never returns garbage that
+    only fails later.
+    """
+
+
+class ValueCodecError(CodecError, EncodingError):
+    """A value tree cannot be encoded to — or decoded from — the wire.
+
+    Also subclasses :class:`EncodingError` so pre-existing callers that
+    caught the crypto-side encoding error keep working.
+    """
+
+
+class FrameCodecError(CodecError, NetworkError):
+    """A frame is malformed: bad magic, version, type, or length.
+
+    Also subclasses :class:`NetworkError` because a garbled frame is
+    indistinguishable from a broken transport to the receiving side.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,131 @@
+"""The seeded engine that decides *when* a plan's rules fire.
+
+A :class:`FaultInjector` is shared by every injection site of one run
+(a :class:`~repro.faults.transport.FaultyTransport`, one or more
+:class:`~repro.faults.proxy.ChaosProxy` instances): each site reports
+every delivery attempt it observes, and the injector — under a lock,
+with a private ``random.Random(plan.seed)`` — decides which rules fire.
+All trigger state (per-rule match and trigger counters, the probability
+RNG, the event log) lives here, so a plan behaves identically whether
+its rules are enacted in-process or at a socket boundary.
+
+Every fired rule is appended to :attr:`FaultInjector.events` (the
+deterministic, timestamp-free log that replays byte-identically), and —
+when telemetry is installed — emitted as a ``fault:<action>`` span and
+a ``repro_faults_injected_total`` counter increment, so injected chaos
+is visible in the same trace as the protocol it disturbed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.faults.plan import SITE_ACTIONS, FaultEvent, FaultPlan, FaultRule
+from repro.telemetry import tracing
+from repro.telemetry.metrics import get_registry
+
+#: Counter of injected faults, labelled by action and site.
+FAULTS_INJECTED_METRIC = "repro_faults_injected_total"
+
+
+class FaultInjector:
+    """Deterministic trigger engine for one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: list[FaultEvent] = []
+        #: Private probability source — seeded, and never shared with
+        #: the protocols' shuffle randomness, so injecting faults does
+        #: not change what an unaffected run computes.
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._matches = [0] * len(plan.rules)
+        self._triggers = [0] * len(plan.rules)
+
+    def observe(
+        self, site: str, sender: str, receiver: str, kind: str
+    ) -> list[FaultRule]:
+        """Report one delivery attempt; returns the rules that fire.
+
+        Every attempt counts — a retried message is a fresh observation,
+        so an ``occurrence=N`` rule that already fired does not re-fire
+        on the retry it caused.
+        """
+        if site not in SITE_ACTIONS:
+            raise ValueError(f"unknown injection site {site!r}")
+        fired: list[FaultRule] = []
+        with self._lock:
+            for index, rule in enumerate(self.plan.rules):
+                if rule.action not in SITE_ACTIONS[site]:
+                    continue
+                if not rule.matches(sender, receiver, kind):
+                    continue
+                self._matches[index] += 1
+                if not self._should_fire(index, rule):
+                    continue
+                self._triggers[index] += 1
+                event = FaultEvent(
+                    index=len(self.events),
+                    rule=index,
+                    action=rule.action,
+                    site=site,
+                    sender=sender,
+                    receiver=receiver,
+                    kind=kind,
+                    occurrence=self._matches[index],
+                    detail=self._detail(rule),
+                )
+                self.events.append(event)
+                fired.append(rule)
+                self._emit(event)
+        return fired
+
+    def _should_fire(self, index: int, rule: FaultRule) -> bool:
+        if rule.max_triggers and self._triggers[index] >= rule.max_triggers:
+            return False
+        if rule.occurrence is not None:
+            if self._matches[index] != rule.occurrence:
+                return False
+        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+            return False
+        return True
+
+    @staticmethod
+    def _detail(rule: FaultRule) -> str:
+        if rule.action == "delay":
+            return f"delay={rule.delay_seconds}s"
+        if rule.action == "crash":
+            return f"victim={rule.crash_target}"
+        return ""
+
+    def _emit(self, event: FaultEvent) -> None:
+        """Surface one fired fault in the installed telemetry."""
+        with tracing.span(
+            f"fault:{event.action}",
+            "fault-injector",
+            kind="fault",
+            site=event.site,
+            sender=event.sender,
+            receiver=event.receiver,
+            message_kind=event.kind,
+            rule=event.rule,
+        ):
+            pass
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                FAULTS_INJECTED_METRIC,
+                {"action": event.action, "site": event.site},
+                help_text="Faults injected by the active fault plan",
+            ).inc()
+
+    # -- the deterministic log ---------------------------------------------
+
+    def event_log(self) -> list[FaultEvent]:
+        with self._lock:
+            return list(self.events)
+
+    def event_log_text(self) -> str:
+        """One line per event — byte-identical across same-seed runs."""
+        return "\n".join(event.summary() for event in self.event_log())

@@ -10,7 +10,9 @@ credentials — must survive a real wire.  This module defines:
 * an **envelope codec**: the ``(sequence, sender, receiver, kind, body)``
   tuple every transmitted message is wrapped in, optionally extended
   with a sixth ``(trace_id, span_id)`` element carrying distributed
-  trace context (see ``docs/observability.md``),
+  trace context (see ``docs/observability.md``) and a seventh
+  ``request_id`` string that endpoints deduplicate re-deliveries on
+  (see ``docs/robustness.md``),
 * **framing**: an 8-byte frame header (magic, version, frame type,
   payload length) plus asyncio stream helpers.
 
@@ -53,7 +55,7 @@ import asyncio
 import struct
 from typing import Any, Callable
 
-from repro.errors import EncodingError, NetworkError
+from repro.errors import CodecError, FrameCodecError, ValueCodecError
 
 # -- framing constants --------------------------------------------------------
 
@@ -63,6 +65,10 @@ VERSION = 1
 FRAME_HEADER_BYTES = 8
 #: Refuse frames above this size instead of exhausting memory.
 MAX_FRAME_BYTES = 1 << 30
+#: Refuse value trees nested deeper than this instead of recursing into
+#: a RecursionError on adversarial input.  Protocol payloads nest a
+#: handful of levels; 64 leaves a wide margin.
+MAX_VALUE_DEPTH = 64
 
 # Frame types.
 DATA = 0x01    # one protocol message envelope
@@ -373,7 +379,7 @@ class _Encoder:
         _bootstrap()
         extension = _BY_CLS.get(type(value))
         if extension is None:
-            raise EncodingError(
+            raise ValueCodecError(
                 f"no wire encoding registered for {type(value).__name__}"
             )
         if extension.shareable:
@@ -398,17 +404,25 @@ def _canonical(items: Any) -> list:
 
 
 class _Decoder:
-    """One decoding pass over a complete buffer."""
+    """One decoding pass over a complete buffer.
+
+    Hardened against adversarial input: every structural implausibility
+    (truncation, impossible container counts, over-deep nesting, a
+    domain constructor choking on a malformed payload) raises
+    :class:`~repro.errors.ValueCodecError` — never a hang, an
+    ``assert``, or a raw :class:`RecursionError`.
+    """
 
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._offset = 0
+        self._depth = 0
         self._interned: list[Any] = []
 
     def decode(self) -> Any:
         value = self._value()
         if self._offset != len(self._data):
-            raise EncodingError(
+            raise ValueCodecError(
                 f"{len(self._data) - self._offset} trailing bytes after value"
             )
         return value
@@ -418,7 +432,7 @@ class _Decoder:
     def _take(self, count: int) -> bytes:
         end = self._offset + count
         if end > len(self._data):
-            raise EncodingError("truncated value encoding")
+            raise ValueCodecError("truncated value encoding")
         chunk = self._data[self._offset:end]
         self._offset = end
         return chunk
@@ -426,9 +440,36 @@ class _Decoder:
     def _u32(self) -> int:
         return _U32.unpack(self._take(4))[0]
 
+    def _count(self, per_item_bytes: int = 1) -> int:
+        """A container count, sanity-checked against the bytes left.
+
+        Every encoded element costs at least one tag byte, so a count
+        exceeding the remaining buffer is a corrupt or adversarial
+        length — reject it before allocating anything.
+        """
+        count = self._u32()
+        remaining = len(self._data) - self._offset
+        if count * per_item_bytes > remaining:
+            raise ValueCodecError(
+                f"container claims {count} elements but only {remaining} "
+                f"bytes remain"
+            )
+        return count
+
     # -- dispatch ---------------------------------------------------------
 
     def _value(self) -> Any:
+        self._depth += 1
+        if self._depth > MAX_VALUE_DEPTH:
+            raise ValueCodecError(
+                f"value tree deeper than {MAX_VALUE_DEPTH} levels"
+            )
+        try:
+            return self._dispatch()
+        finally:
+            self._depth -= 1
+
+    def _dispatch(self) -> Any:
         tag = self._take(1)[0]
         if tag == _T_NONE:
             return None
@@ -443,39 +484,66 @@ class _Decoder:
         if tag == _T_BYTES:
             return self._take(self._u32())
         if tag == _T_STR:
-            return self._take(self._u32()).decode("utf-8")
+            try:
+                return self._take(self._u32()).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ValueCodecError(f"malformed UTF-8 string: {exc}") from exc
         if tag == _T_LIST:
-            return [self._value() for _ in range(self._u32())]
+            return [self._value() for _ in range(self._count())]
         if tag == _T_TUPLE:
-            return tuple(self._value() for _ in range(self._u32()))
+            return tuple(self._value() for _ in range(self._count()))
         if tag == _T_DICT:
-            count = self._u32()
+            count = self._count(per_item_bytes=2)
             result = {}
-            for _ in range(count):
-                key = self._value()
-                result[key] = self._value()
+            try:
+                for _ in range(count):
+                    key = self._value()
+                    result[key] = self._value()
+            except TypeError as exc:  # unhashable decoded key
+                raise ValueCodecError(f"unhashable dict key: {exc}") from exc
             return result
         if tag == _T_SET:
-            return {self._value() for _ in range(self._u32())}
+            try:
+                return {self._value() for _ in range(self._count())}
+            except TypeError as exc:
+                raise ValueCodecError(f"unhashable set element: {exc}") from exc
         if tag == _T_FROZENSET:
-            return frozenset(self._value() for _ in range(self._u32()))
+            try:
+                return frozenset(
+                    self._value() for _ in range(self._count())
+                )
+            except TypeError as exc:
+                raise ValueCodecError(f"unhashable set element: {exc}") from exc
         if tag == _T_EXT:
             return self._ext()
         if tag == _T_REF:
             index = self._u32()
             if index >= len(self._interned):
-                raise EncodingError(f"dangling interning reference {index}")
+                raise ValueCodecError(f"dangling interning reference {index}")
             return self._interned[index]
-        raise EncodingError(f"unknown value tag 0x{tag:02x}")
+        raise ValueCodecError(f"unknown value tag 0x{tag:02x}")
 
     def _ext(self) -> Any:
         _bootstrap()
         name_length = self._take(1)[0]
-        name = self._take(name_length).decode("ascii")
+        try:
+            name = self._take(name_length).decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise ValueCodecError(f"malformed extension name: {exc}") from exc
         extension = _BY_NAME.get(name)
         if extension is None:
-            raise EncodingError(f"unknown wire extension {name!r}")
-        value = extension.unpack(self._value())
+            raise ValueCodecError(f"unknown wire extension {name!r}")
+        packed = self._value()
+        try:
+            value = extension.unpack(packed)
+        except CodecError:
+            raise
+        except Exception as exc:
+            # A domain constructor rejecting a malformed payload is a
+            # codec failure at this boundary, not a caller bug.
+            raise ValueCodecError(
+                f"malformed {name!r} extension payload: {exc}"
+            ) from exc
         if extension.shareable:
             self._interned.append(value)
         return value
@@ -489,8 +557,18 @@ def encode_value(value: Any) -> bytes:
 
 
 def decode_value(data: bytes) -> Any:
-    """Inverse of :func:`encode_value`."""
-    return _Decoder(data).decode()
+    """Inverse of :func:`encode_value`.
+
+    Total on arbitrary input: any failure to decode — including
+    surprises escaping domain-type constructors — surfaces as a
+    :class:`~repro.errors.CodecError` subclass.
+    """
+    try:
+        return _Decoder(data).decode()
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise ValueCodecError(f"undecodable value stream: {exc}") from exc
 
 
 def encoded_size(value: Any) -> int:
@@ -505,13 +583,23 @@ def encode_envelope(
     kind: str,
     body: Any,
     trace: tuple[str, str] | None = None,
+    request_id: str | None = None,
 ) -> bytes:
     """Encode one message envelope (the payload of a DATA frame).
 
     ``trace`` is an optional ``(trace_id, span_id)`` pair identifying
-    the sender-side span this message belongs to.  Untraced envelopes
-    keep the historical 5-tuple wire shape byte-for-byte.
+    the sender-side span this message belongs to.  ``request_id`` is an
+    optional globally unique delivery token: endpoints deduplicate DATA
+    frames on it, which is what makes sender-side re-delivery after an
+    ambiguous failure safe (see ``docs/robustness.md``).  Envelopes
+    carrying neither keep the historical 5-tuple wire shape
+    byte-for-byte; a request id forces the 7-element shape with the
+    trace slot explicitly ``None``.
     """
+    if request_id is not None:
+        return encode_value(
+            (sequence, sender, receiver, kind, body, trace, request_id)
+        )
     if trace is None:
         return encode_value((sequence, sender, receiver, kind, body))
     return encode_value((sequence, sender, receiver, kind, body, trace))
@@ -519,29 +607,38 @@ def encode_envelope(
 
 def decode_envelope(
     data: bytes,
-) -> tuple[int, str, str, str, Any, tuple[str, str] | None]:
+) -> tuple[int, str, str, str, Any, tuple[str, str] | None, str | None]:
     """Inverse of :func:`encode_envelope`, with shape validation.
 
-    Always returns a 6-tuple; the trailing trace context is ``None``
-    for untraced (5-element) envelopes.
+    Always returns a 7-tuple ``(sequence, sender, receiver, kind, body,
+    trace, request_id)``; the trace context and request id are ``None``
+    when the envelope did not carry them.
     """
     envelope = decode_value(data)
     if (
         not isinstance(envelope, tuple)
-        or len(envelope) not in (5, 6)
+        or len(envelope) not in (5, 6, 7)
         or not isinstance(envelope[0], int)
         or not all(isinstance(part, str) for part in envelope[1:4])
     ):
-        raise EncodingError("malformed message envelope")
+        raise ValueCodecError("malformed message envelope")
     if len(envelope) == 5:
-        return (*envelope, None)
+        return (*envelope, None, None)
     trace = envelope[5]
-    if (
+    if trace is not None and (
         not isinstance(trace, tuple)
         or len(trace) != 2
         or not all(isinstance(part, str) for part in trace)
     ):
-        raise EncodingError("malformed envelope trace context")
+        raise ValueCodecError("malformed envelope trace context")
+    if len(envelope) == 6:
+        if trace is None:
+            # The 6-element shape always carries a real trace context.
+            raise ValueCodecError("malformed envelope trace context")
+        return (*envelope, None)
+    request_id = envelope[6]
+    if not isinstance(request_id, str) or not request_id:
+        raise ValueCodecError("malformed envelope request id")
     return envelope
 
 
@@ -550,9 +647,9 @@ def decode_envelope(
 def build_frame(frame_type: int, payload: bytes) -> bytes:
     """Prepend the 8-byte frame header to an encoded payload."""
     if frame_type not in _FRAME_TYPES:
-        raise EncodingError(f"unknown frame type 0x{frame_type:02x}")
+        raise FrameCodecError(f"unknown frame type 0x{frame_type:02x}")
     if len(payload) > MAX_FRAME_BYTES:
-        raise EncodingError(
+        raise FrameCodecError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
@@ -562,24 +659,24 @@ def build_frame(frame_type: int, payload: bytes) -> bytes:
 def parse_frame_header(header: bytes) -> tuple[int, int]:
     """Validate a frame header; returns ``(frame_type, payload_length)``."""
     if len(header) != FRAME_HEADER_BYTES:
-        raise NetworkError("short frame header")
+        raise FrameCodecError("short frame header")
     if header[:2] != MAGIC:
-        raise NetworkError(f"bad frame magic {header[:2]!r}")
+        raise FrameCodecError(f"bad frame magic {header[:2]!r}")
     if header[2] != VERSION:
-        raise NetworkError(f"unsupported wire version {header[2]}")
+        raise FrameCodecError(f"unsupported wire version {header[2]}")
     frame_type = header[3]
     if frame_type not in _FRAME_TYPES:
-        raise NetworkError(f"unknown frame type 0x{frame_type:02x}")
+        raise FrameCodecError(f"unknown frame type 0x{frame_type:02x}")
     length = _U32.unpack(header[4:8])[0]
     if length > MAX_FRAME_BYTES:
-        raise NetworkError(f"frame of {length} bytes exceeds the size limit")
+        raise FrameCodecError(f"frame of {length} bytes exceeds the size limit")
     return frame_type, length
 
 
 async def read_frame(
     reader: asyncio.StreamReader, timeout: float | None = None
 ) -> tuple[int, bytes]:
-    """Read one complete frame; raises :class:`NetworkError` on EOF/garbage.
+    """Read one complete frame; raises :class:`FrameCodecError` on EOF/garbage.
 
     ``timeout`` bounds each of the two reads; ``asyncio.TimeoutError``
     propagates to the caller, which maps it onto the failure being
@@ -592,7 +689,7 @@ async def read_frame(
         frame_type, length = parse_frame_header(header)
         payload = await asyncio.wait_for(reader.readexactly(length), timeout)
     except asyncio.IncompleteReadError as exc:
-        raise NetworkError("connection closed mid-frame") from exc
+        raise FrameCodecError("connection closed mid-frame") from exc
     return frame_type, payload
 
 

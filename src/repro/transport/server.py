@@ -25,9 +25,16 @@ independent of the process-wide installed telemetry — so a ``repro
 serve`` process accumulates its party's observations and hands them to
 whichever querying process asks.
 
+Delivery is **effectively-once**: envelopes that carry a ``request_id``
+are deduplicated — a re-delivered frame (sender retry after a lost
+acknowledgement, or a chaos proxy duplicating traffic) is answered with
+the original ACK and recorded exactly once.  This is the receiver half
+of the idempotent re-delivery contract in ``docs/robustness.md``.
+
 Fault injection for tests: ``max_messages=N`` makes the endpoint drop
 the connection *without acknowledging* the (N+1)-th data message and
 stop listening — the deterministic "datasource dies mid-protocol".
+The richer, seeded fault model lives in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -45,6 +52,14 @@ from repro.transport import codec
 ENDPOINT_MESSAGES_METRIC = "repro_endpoint_messages_total"
 #: Counter of wire bytes received at an endpoint.
 ENDPOINT_BYTES_METRIC = "repro_endpoint_bytes_total"
+#: Counter of duplicate deliveries absorbed by request-id dedupe.
+ENDPOINT_DUPLICATES_METRIC = "repro_endpoint_duplicates_total"
+
+#: Acknowledgements remembered for request-id deduplication.  Bounds
+#: memory on very long-lived ``serve`` processes; a duplicate older
+#: than the window is re-recorded, which only ever happens after the
+#: sender has long given up on the original delivery.
+DEDUPE_WINDOW = 4096
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,9 @@ class PartyServer:
         self._on_message = on_message
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
+        #: request_id -> acknowledgement payload, for idempotent
+        #: re-delivery (insertion-ordered; oldest evicted first).
+        self._acknowledged: dict[str, dict] = {}
 
     # -- lifecycle --------------------------------------------------------
 
@@ -187,7 +205,7 @@ class PartyServer:
             writer.transport.abort()
             return True
         try:
-            sequence, sender, receiver, kind, _body, trace = (
+            sequence, sender, receiver, kind, _body, trace, request_id = (
                 codec.decode_envelope(payload)
             )
         except Exception as exc:  # malformed payload: report, keep serving
@@ -195,6 +213,22 @@ class PartyServer:
                 writer,
                 codec.ERROR,
                 codec.encode_value({"error": f"undecodable envelope: {exc}"}),
+            )
+            return False
+        if request_id is not None and request_id in self._acknowledged:
+            # Idempotent re-delivery: the sender retried a message we
+            # already recorded (its copy of our ACK was lost, or a
+            # chaos proxy duplicated the frame).  Re-acknowledge with
+            # the original payload; record and observe nothing.
+            self.registry.counter(
+                ENDPOINT_DUPLICATES_METRIC,
+                {"party": self.party, "sender": sender, "kind": kind},
+                help_text="Duplicate deliveries absorbed by request-id dedupe",
+            ).inc()
+            await codec.write_frame(
+                writer,
+                codec.ACK,
+                codec.encode_value(self._acknowledged[request_id]),
             )
             return False
         if receiver != self.party:
@@ -222,12 +256,15 @@ class PartyServer:
         self.records.append(record)
         if self._on_message is not None:
             self._on_message(record)
+        acknowledgement = {
+            "sequence": sequence, "wire_bytes": record.wire_bytes,
+        }
+        if request_id is not None:
+            self._acknowledged[request_id] = acknowledgement
+            while len(self._acknowledged) > DEDUPE_WINDOW:
+                self._acknowledged.pop(next(iter(self._acknowledged)))
         await codec.write_frame(
-            writer,
-            codec.ACK,
-            codec.encode_value(
-                {"sequence": sequence, "wire_bytes": record.wire_bytes}
-            ),
+            writer, codec.ACK, codec.encode_value(acknowledgement)
         )
         return False
 

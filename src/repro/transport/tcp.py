@@ -19,15 +19,20 @@ endpoint on an ephemeral loopback port.  Either way every message
 crosses a real socket — loopback runs exercise the full codec,
 framing, and acknowledgement path.
 
-Failure semantics:
+Failure semantics (hardened — see ``docs/robustness.md``):
 
-* *Connecting* is retried with exponential backoff (it is idempotent).
-* Once a data frame may have reached the peer — any failure after the
-  write — the send fails **without retry**: the transcript is the object
-  of study, and a blind resend could record the same protocol message
-  twice at the receiver.  At-most-once, surfaced loudly.
-* An acknowledgement that does not arrive within ``io_timeout`` seconds
-  raises :class:`~repro.errors.NetworkError` mentioning the timeout.
+* Every envelope carries a globally unique ``request_id`` and endpoints
+  deduplicate on it, so *all* delivery failures — refused connects,
+  lost acknowledgements, mid-delivery disconnects — are retried with
+  jittered exponential backoff up to ``RetryPolicy.attempts``.  The
+  receiver records each protocol message exactly once regardless of how
+  many times the frame crossed the wire: **effectively-once** delivery.
+* A deadline installed by the runner (:mod:`repro.deadline`) caps every
+  wait; an expired deadline raises
+  :class:`~repro.errors.DeadlineExceeded` instead of starting another
+  attempt.
+* Every :class:`~repro.errors.NetworkError` raised here names the
+  remote host, port, and the timeout budget that governed the wait.
 
 The message body a receiver-side protocol step consumes is the
 **decoded** round-trip of the encoded frame, never the sender's live
@@ -38,11 +43,14 @@ sharing.
 from __future__ import annotations
 
 import asyncio
+import random
+import secrets
 import threading
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from repro.errors import NetworkError
+from repro.deadline import Deadline, current_deadline
+from repro.errors import DeadlineExceeded, NetworkError
 from repro.telemetry import tracing
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.telemetry.tracing import Span, Tracer
@@ -50,12 +58,15 @@ from repro.transport import codec
 from repro.transport.base import Message, Transport
 from repro.transport.server import PartyServer, RemoteRecord
 
+#: Counter of delivery/control retries, labelled by party and operation.
+TRANSPORT_RETRIES_METRIC = "repro_transport_retries_total"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Connection retry and I/O deadline parameters."""
+    """Connection retry, backoff, and I/O deadline parameters."""
 
-    #: Connection attempts per delivery (>= 1).
+    #: Delivery attempts per message (>= 1).
     attempts: int = 4
     #: Backoff before retry i is ``base_delay * 2**i``, capped below.
     base_delay: float = 0.05
@@ -64,9 +75,18 @@ class RetryPolicy:
     connect_timeout: float = 2.0
     #: Seconds to wait for an acknowledgement or control response.
     io_timeout: float = 10.0
+    #: Random extra backoff as a fraction of the base delay (0.25 =
+    #: up to 25% longer), decorrelating retry storms across parties.
+    jitter: float = 0.25
+    #: Seconds granted to the shutdown coroutine and the loop thread
+    #: join during :meth:`TcpTransport.close`.
+    shutdown_timeout: float = 5.0
 
-    def delay(self, attempt: int) -> float:
-        return min(self.max_delay, self.base_delay * (2 ** attempt))
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        if rng is not None and self.jitter > 0:
+            base *= 1.0 + rng.random() * self.jitter
+        return base
 
 
 class TcpTransport(Transport):
@@ -88,6 +108,13 @@ class TcpTransport(Transport):
             str, tuple[asyncio.StreamReader, asyncio.StreamWriter]
         ] = {}
         self._closed = False
+        #: Distinguishes this transport's envelopes in request ids, so
+        #: endpoint dedupe never conflates two transports' sequences.
+        self._origin = secrets.token_hex(4)
+        #: Backoff jitter source.  Deliberately private and seeded so
+        #: retries never perturb the protocols' shuffle randomness and
+        #: fault-plan replays stay deterministic.
+        self._jitter_rng = random.Random(0x5EED)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-tcp-transport", daemon=True
@@ -130,7 +157,15 @@ class TcpTransport(Transport):
     # -- transmission -------------------------------------------------------
 
     def send(self, sender: str, receiver: str, kind: str, body: Any) -> Message:
-        """Serialize, frame, transmit, and await the acknowledgement."""
+        """Serialize, frame, transmit, and await the acknowledgement.
+
+        Delivery is effectively-once: the envelope's unique request id
+        lets the receiving endpoint absorb re-deliveries, so every
+        failure mode — not just refused connects — is retried under
+        :class:`RetryPolicy`.  The caller's installed deadline (if any)
+        is captured here, on the caller thread, and propagated into the
+        transport loop explicitly.
+        """
         self._require_parties(sender, receiver)
         with tracing.span(
             f"send:{kind}", sender, kind="message", receiver=receiver
@@ -138,18 +173,16 @@ class TcpTransport(Transport):
             sequence = self._take_sequence()
             trace = span.context().to_wire() if span is not None else None
             payload = codec.encode_envelope(
-                sequence, sender, receiver, kind, body, trace=trace
+                sequence, sender, receiver, kind, body,
+                trace=trace, request_id=f"{self._origin}:{sequence}",
             )
             frame = codec.build_frame(codec.DATA, payload)
-            ack = self._run(self._deliver(receiver, frame))
-            if not isinstance(ack, dict) or ack.get("sequence") != sequence:
-                raise NetworkError(
-                    f"endpoint {receiver!r} acknowledged the wrong message "
-                    f"(expected #{sequence}, got {ack!r})"
-                )
+            self._run(
+                self._deliver(receiver, frame, sequence, current_deadline())
+            )
             # The recorded body is the decoded wire payload: whatever the
             # receiver could reconstruct is what the transcript carries.
-            _, _, _, _, decoded_body, _ = codec.decode_envelope(payload)
+            decoded_body = codec.decode_envelope(payload)[4]
             message = self._record(
                 sequence, sender, receiver, kind, decoded_body, len(frame)
             )
@@ -163,7 +196,10 @@ class TcpTransport(Transport):
         if party not in self._parties:
             raise NetworkError(f"unknown party {party!r}")
         response = self._run(
-            self._request(party, codec.FETCH, {}, expect=codec.VIEW)
+            self._request(
+                party, codec.FETCH, {}, expect=codec.VIEW,
+                deadline=current_deadline(),
+            )
         )
         return [RemoteRecord(**record) for record in response]
 
@@ -178,7 +214,8 @@ class TcpTransport(Transport):
             raise NetworkError(f"unknown party {party!r}")
         response = self._run(
             self._request(
-                party, codec.TELEMETRY, {}, expect=codec.TELEMETRY_DATA
+                party, codec.TELEMETRY, {}, expect=codec.TELEMETRY_DATA,
+                deadline=current_deadline(),
             )
         )
         if not isinstance(response, dict):
@@ -216,18 +253,58 @@ class TcpTransport(Transport):
                 registry.merge(snapshot["metrics"])
         return snapshots
 
+    # -- fault hooks ---------------------------------------------------------
+
+    def crash_party(self, party: str) -> None:
+        """Kill a locally hosted endpoint and sever its cached stream.
+
+        The fault injector's ``crash`` action calls this so that a
+        "dead datasource" is a real socket death: the port stops
+        answering and subsequent deliveries exhaust their retries
+        against a connection-refused endpoint.  Remote (non-hosted)
+        endpoints cannot be crashed from here; only the cached stream
+        is dropped.
+        """
+        if party not in self._parties:
+            raise NetworkError(f"unknown party {party!r}")
+        server = self._servers.get(party)
+
+        async def _crash() -> None:
+            cached = self._streams.pop(party, None)
+            if cached is not None:
+                cached[1].close()
+            if server is not None:
+                await server.stop()
+
+        self._run(_crash())
+
     # -- teardown ------------------------------------------------------------
 
     def close(self) -> None:
-        """Close connections, stop hosted endpoints, stop the loop."""
+        """Close connections, stop hosted endpoints, stop the loop.
+
+        Shutdown is governed by ``RetryPolicy.shutdown_timeout`` and
+        must not leak the loop thread even when endpoints are wedged by
+        an injected fault: a shutdown coroutine that overruns its
+        budget is cancelled, the loop is stopped regardless, and the
+        loop is only closed once its thread has really exited.
+        """
         if self._closed:
             return
+        self._closed = True  # refuse new work before tearing down
+        budget = self.retry.shutdown_timeout
         future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
-        future.result(timeout=10)
-        self._closed = True
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=5)
-        self._loop.close()
+        try:
+            future.result(timeout=budget)
+        except (asyncio.TimeoutError, TimeoutError):
+            future.cancel()
+        except Exception:
+            pass  # a wedged endpoint must not block teardown
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=budget)
+            if not self._thread.is_alive():
+                self._loop.close()
 
     def __enter__(self) -> "TcpTransport":
         return self
@@ -244,6 +321,51 @@ class TcpTransport(Transport):
 
     # -- connection management (runs on the transport loop) ----------------
 
+    def _where(self, party: str) -> str:
+        """The host/port/budget suffix every NetworkError must carry."""
+        host, port = self.endpoint_of(party)
+        return (
+            f"(endpoint {party!r} at {host}:{port}, connect timeout "
+            f"{self.retry.connect_timeout}s, io timeout "
+            f"{self.retry.io_timeout}s)"
+        )
+
+    def _io_timeout(self, party: str, deadline: Deadline | None) -> float:
+        """The I/O wait budget, capped by the propagated deadline."""
+        if deadline is None:
+            return self.retry.io_timeout
+        remaining = deadline.remaining()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline of {deadline.budget}s exhausted before I/O "
+                f"{self._where(party)}"
+            )
+        return min(self.retry.io_timeout, remaining)
+
+    def _count_retry(self, party: str, operation: str) -> None:
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                TRANSPORT_RETRIES_METRIC,
+                {"party": party, "operation": operation},
+                help_text="Delivery/control retries on the TCP transport",
+            ).inc()
+
+    async def _backoff(
+        self, attempt: int, party: str, operation: str,
+        deadline: Deadline | None,
+    ) -> None:
+        """Sleep the jittered backoff before retry ``attempt``."""
+        if attempt == 0:
+            return
+        self._count_retry(party, operation)
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(
+                f"deadline of {deadline.budget}s exhausted after "
+                f"{attempt} attempts {self._where(party)}"
+            )
+        await asyncio.sleep(self.retry.delay(attempt - 1, self._jitter_rng))
+
     async def _connect(
         self, party: str
     ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
@@ -258,8 +380,8 @@ class TcpTransport(Transport):
             )
         except asyncio.TimeoutError as exc:
             raise NetworkError(
-                f"connect to {party!r} at {host}:{port} timed out after "
-                f"{self.retry.connect_timeout}s"
+                f"connect timed out after {self.retry.connect_timeout}s "
+                f"{self._where(party)}"
             ) from exc
         self._streams[party] = (reader, writer)
         return reader, writer
@@ -269,73 +391,117 @@ class TcpTransport(Transport):
         if cached is not None:
             cached[1].close()
 
-    async def _deliver(self, party: str, frame: bytes) -> Any:
-        """Send one DATA frame; returns the decoded acknowledgement."""
+    async def _await_ack(
+        self,
+        reader: asyncio.StreamReader,
+        party: str,
+        sequence: int,
+        deadline: Deadline | None,
+    ) -> dict:
+        """Read acknowledgements until ours arrives.
+
+        Stale ACKs — re-acknowledgements of *earlier* sequences left in
+        the stream by duplicated frames — are skipped; anything else
+        unexpected is an error.
+        """
+        while True:
+            frame_type, payload = await codec.read_frame(
+                reader, self._io_timeout(party, deadline)
+            )
+            ack = self._control_payload(party, frame_type, payload, codec.ACK)
+            acked = ack.get("sequence") if isinstance(ack, dict) else None
+            if acked == sequence:
+                return ack
+            if isinstance(acked, int) and acked < sequence:
+                continue  # duplicate ACK of an already-delivered message
+            raise NetworkError(
+                f"wrong acknowledgement: expected #{sequence}, got {ack!r} "
+                f"{self._where(party)}"
+            )
+
+    async def _deliver(
+        self,
+        party: str,
+        frame: bytes,
+        sequence: int,
+        deadline: Deadline | None,
+    ) -> dict:
+        """Send one DATA frame; returns the matching acknowledgement.
+
+        Because the receiving endpoint deduplicates on the envelope's
+        request id, re-sending after *any* failure is safe — the frame
+        is recorded at most once no matter how many copies arrive.
+        """
         last_error: Exception | None = None
         for attempt in range(self.retry.attempts):
-            if attempt:
-                await asyncio.sleep(self.retry.delay(attempt - 1))
+            await self._backoff(attempt, party, "deliver", deadline)
             try:
                 reader, writer = await self._connect(party)
             except (ConnectionError, OSError, NetworkError) as exc:
-                last_error = exc  # connecting is idempotent: retry
+                last_error = exc
                 continue
             try:
                 writer.write(frame)
                 await writer.drain()
-                frame_type, payload = await codec.read_frame(
-                    reader, self.retry.io_timeout
+                return await self._await_ack(reader, party, sequence, deadline)
+            except asyncio.TimeoutError:
+                self._drop_stream(party)
+                last_error = NetworkError(
+                    f"timed out after {self._io_timeout(party, deadline)}s "
+                    f"waiting for an acknowledgement {self._where(party)}"
                 )
-            except asyncio.TimeoutError as exc:
+            except DeadlineExceeded:
                 self._drop_stream(party)
-                raise NetworkError(
-                    f"timed out after {self.retry.io_timeout}s waiting for "
-                    f"{party!r} to acknowledge"
-                ) from exc
+                raise
             except (ConnectionError, OSError, NetworkError) as exc:
-                # The frame may have reached the peer: no blind resend.
+                # The frame may have reached the peer, but request-id
+                # dedupe makes the resend idempotent: retry.
                 self._drop_stream(party)
-                raise NetworkError(
-                    f"connection to {party!r} failed mid-delivery: {exc}"
-                ) from exc
-            return self._control_payload(party, frame_type, payload, codec.ACK)
-        host, port = self.endpoint_of(party)
+                last_error = exc
         raise NetworkError(
-            f"cannot reach {party!r} at {host}:{port} after "
-            f"{self.retry.attempts} attempts: {last_error}"
+            f"cannot deliver message #{sequence} after "
+            f"{self.retry.attempts} attempts {self._where(party)}: "
+            f"{last_error}"
         )
 
     async def _request(
-        self, party: str, frame_type: int, body: Any, expect: int
+        self,
+        party: str,
+        frame_type: int,
+        body: Any,
+        expect: int,
+        deadline: Deadline | None = None,
     ) -> Any:
         """One idempotent control round-trip (HELLO, FETCH), with retries."""
         last_error: Exception | None = None
         for attempt in range(self.retry.attempts):
-            if attempt:
-                await asyncio.sleep(self.retry.delay(attempt - 1))
+            await self._backoff(attempt, party, "control", deadline)
             try:
                 reader, writer = await self._connect(party)
                 await codec.write_frame(
                     writer, frame_type, codec.encode_value(body)
                 )
                 response_type, payload = await codec.read_frame(
-                    reader, self.retry.io_timeout
+                    reader, self._io_timeout(party, deadline)
                 )
             except asyncio.TimeoutError as exc:
                 self._drop_stream(party)
                 raise NetworkError(
-                    f"timed out after {self.retry.io_timeout}s waiting for "
-                    f"a control response from {party!r}"
+                    f"timed out after {self._io_timeout(party, deadline)}s "
+                    f"waiting for a control response {self._where(party)}"
                 ) from exc
+            except DeadlineExceeded:
+                self._drop_stream(party)
+                raise
             except (ConnectionError, OSError, NetworkError) as exc:
                 self._drop_stream(party)
                 last_error = exc
                 continue
             return self._control_payload(party, response_type, payload, expect)
-        host, port = self.endpoint_of(party)
         raise NetworkError(
-            f"cannot reach {party!r} at {host}:{port} after "
-            f"{self.retry.attempts} attempts: {last_error}"
+            f"cannot complete control request after "
+            f"{self.retry.attempts} attempts {self._where(party)}: "
+            f"{last_error}"
         )
 
     def _control_payload(
@@ -344,24 +510,26 @@ class TcpTransport(Transport):
         value = codec.decode_value(payload)
         if frame_type == codec.ERROR:
             detail = value.get("error") if isinstance(value, dict) else value
-            raise NetworkError(f"endpoint {party!r} reported: {detail}")
+            raise NetworkError(
+                f"endpoint reported: {detail} {self._where(party)}"
+            )
         if frame_type != expect:
             raise NetworkError(
-                f"endpoint {party!r} answered with unexpected frame type "
-                f"0x{frame_type:02x}"
+                f"unexpected frame type 0x{frame_type:02x} in response "
+                f"{self._where(party)}"
             )
         return value
 
     async def _handshake(self, party: str) -> None:
         response = await self._request(
-            party, codec.HELLO, {"party": party}, expect=codec.OK
+            party, codec.HELLO, {"party": party},
+            expect=codec.OK, deadline=None,
         )
         answered = response.get("party") if isinstance(response, dict) else None
         if answered != party:
-            host, port = self.endpoint_of(party)
             raise NetworkError(
-                f"endpoint at {host}:{port} identifies as {answered!r}, "
-                f"expected {party!r}"
+                f"endpoint identifies as {answered!r}, expected {party!r} "
+                f"{self._where(party)}"
             )
 
 

@@ -1,0 +1,61 @@
+"""Shared chaos-test helpers: fast retries and threaded real endpoints."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.transport import PartyServer, RetryPolicy
+
+#: Fast-failing policy so injected faults cost milliseconds, not the
+#: production timeouts, while still exercising retries and backoff.
+FAST = RetryPolicy(
+    attempts=3, base_delay=0.01, max_delay=0.05, connect_timeout=0.5,
+    io_timeout=0.5,
+)
+
+
+class ThreadedEndpoint:
+    """A real PartyServer on its own event-loop thread — a 'remote'
+    party a chaos proxy can sit in front of."""
+
+    def __init__(self, party: str, **kwargs) -> None:
+        self.server = PartyServer(party, **kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        self._thread.start()
+        self.address = asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result()
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        ).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+
+@pytest.fixture
+def fast_retry() -> RetryPolicy:
+    return FAST
+
+
+@pytest.fixture
+def threaded_endpoint():
+    """Factory for ThreadedEndpoints, closed on test exit."""
+    created: list[ThreadedEndpoint] = []
+
+    def factory(party: str, **kwargs) -> ThreadedEndpoint:
+        endpoint = ThreadedEndpoint(party, **kwargs)
+        created.append(endpoint)
+        return endpoint
+
+    yield factory
+    for endpoint in created:
+        endpoint.close()

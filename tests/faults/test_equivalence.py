@@ -1,0 +1,123 @@
+"""Property: survivable fault plans never change what a protocol computes.
+
+Seeded-random fault plans whose transient faults stay below the retry
+budget (every rule fires at most once, and a
+:class:`~repro.faults.transport.FaultyTransport` retries each send up
+to four times) must leave all three protocols returning exactly the
+fault-free reference join — on the in-process bus *and* over real TCP
+sockets.  The plans are generated from the seed alone, so a failing
+seed is a complete reproduction recipe.
+"""
+
+import random
+
+import pytest
+
+from repro import Federation, reference_join, run_join_query
+from repro.faults import FaultInjector, FaultPlan, FaultRule, FaultyTransport
+from repro.mediation.access_control import allow_all
+from repro.mediation.network import Network
+from repro.transport import TcpTransport
+
+from tests.faults.conftest import FAST
+
+QUERY = "select * from R1 natural join R2"
+PROTOCOLS = ["das", "commutative", "private-matching"]
+PARTIES = ["mediator", "S1", "S2", "test-client"]
+
+#: FaultyTransport retries each send this many times in total; a plan
+#: whose transient rules can hit one message at most ``attempts - 1``
+#: times is survivable by construction.
+ATTEMPTS = 4
+
+
+def survivable_plan(seed: int) -> FaultPlan:
+    """A random plan guaranteed to stay below the retry budget.
+
+    Each rule is transient (drop/corrupt/delay) and fires at most once
+    (``max_triggers=1``).  With at most ``ATTEMPTS - 1`` rules, even
+    the worst case — every rule firing on consecutive attempts of the
+    same message — leaves one attempt to succeed.
+    """
+    rng = random.Random(seed)
+    rules = []
+    for _ in range(rng.randint(1, ATTEMPTS - 1)):
+        action = rng.choice(["drop", "corrupt", "delay"])
+        kwargs = {
+            "action": action,
+            "occurrence": rng.randint(1, 10),
+            "max_triggers": 1,
+        }
+        if action == "delay":
+            kwargs["delay_seconds"] = rng.choice([0.005, 0.01])
+        if rng.random() < 0.5:
+            kwargs["party"] = rng.choice(PARTIES)
+        rules.append(FaultRule(**kwargs))
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+def build_federation(ca, client, workload, network) -> Federation:
+    federation = Federation(ca=ca, network=network)
+    federation.add_source("S1", [(workload.relation_1, allow_all())])
+    federation.add_source("S2", [(workload.relation_2, allow_all())])
+    federation.attach_client(client)
+    return federation
+
+
+def run_under_plan(ca, client, workload, protocol, seed, carrier):
+    """One chaos run; returns (result, injector) after closing the carrier."""
+    injector = FaultInjector(survivable_plan(seed))
+    network = FaultyTransport(carrier, injector)
+    try:
+        federation = build_federation(ca, client, workload, network)
+        result = run_join_query(
+            federation, QUERY, protocol=protocol, on_failure="return"
+        )
+        expected = reference_join(federation, QUERY)
+    finally:
+        network.close()
+    return result, expected, injector
+
+
+class TestSurvivablePlansOnTheBus:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_result_equals_fault_free_reference(
+        self, ca, client, workload, protocol, seed
+    ):
+        result, expected, injector = run_under_plan(
+            ca, client, workload, protocol, seed, Network()
+        )
+        assert result.ok, (
+            f"survivable plan (seed={seed}) killed the run: "
+            f"{result.error_message}\n{injector.event_log_text()}"
+        )
+        assert result.global_result == expected
+
+    def test_generated_plans_actually_inject_faults(
+        self, ca, client, workload
+    ):
+        """The property is vacuous if no generated rule ever fires."""
+        fired = 0
+        for seed in (101, 202, 303):
+            _, _, injector = run_under_plan(
+                ca, client, workload, "commutative", seed, Network()
+            )
+            fired += len(injector.event_log())
+        assert fired > 0
+
+
+class TestSurvivablePlansOverTcp:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", [404, 505])
+    def test_result_equals_fault_free_reference(
+        self, ca, client, workload, protocol, seed
+    ):
+        result, expected, injector = run_under_plan(
+            ca, client, workload, protocol, seed, TcpTransport(retry=FAST)
+        )
+        assert result.ok, (
+            f"survivable plan (seed={seed}) killed the TCP run: "
+            f"{result.error_message}\n{injector.event_log_text()}"
+        )
+        assert result.global_result == expected

@@ -64,6 +64,7 @@ def run_on(ca, client, rows_1, rows_2, protocol, config):
             message.kind,
             message.body,
             None,  # no trace context attached outside a traced run
+            None,  # no request id attached outside the TCP transport
         )
     return result
 

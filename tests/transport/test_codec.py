@@ -184,7 +184,15 @@ class TestEnvelopeAndFraming:
     def test_envelope_roundtrip(self):
         payload = codec.encode_envelope(3, "S1", "mediator", "kind", {"a": 1})
         assert codec.decode_envelope(payload) == (
-            3, "S1", "mediator", "kind", {"a": 1}, None,
+            3, "S1", "mediator", "kind", {"a": 1}, None, None,
+        )
+
+    def test_envelope_roundtrip_with_request_id(self):
+        payload = codec.encode_envelope(
+            7, "S1", "mediator", "kind", {"a": 1}, request_id="abcd:7"
+        )
+        assert codec.decode_envelope(payload) == (
+            7, "S1", "mediator", "kind", {"a": 1}, None, "abcd:7",
         )
 
     def test_malformed_envelope_rejected(self):
