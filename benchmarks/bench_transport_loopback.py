@@ -12,7 +12,7 @@ length prefixes, envelope routing) should stay well under 2x.
 import time
 
 import pytest
-from conftest import write_report
+from conftest import smoke_mode, write_bench_json, write_report
 
 from repro import Federation, run_join_query
 from repro.mediation.access_control import allow_all
@@ -43,6 +43,9 @@ def _timed_run(federation, protocol):
     return result, elapsed, network.total_bytes(), len(network.transcript)
 
 
+@pytest.mark.skipif(
+    smoke_mode(), reason="smoke mode runs the report test only"
+)
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_loopback_tcp_wall_clock(benchmark, ca, client, default_workload, protocol):
     """pytest-benchmark series: one full join over loopback sockets."""
@@ -63,6 +66,8 @@ def test_bus_vs_loopback_report(ca, client, default_workload):
         f"{'protocol':18s} {'carrier':8s} {'seconds':>9s} {'bytes':>9s} "
         f"{'msgs':>5s} {'inflation':>9s}",
     ]
+    metrics: dict[str, float] = {}
+    gate: dict[str, dict] = {}
     for protocol in PROTOCOLS:
         bus_result, bus_seconds, bus_bytes, bus_messages = _timed_run(
             _federation(ca, client, default_workload), protocol
@@ -80,6 +85,20 @@ def test_bus_vs_loopback_report(ca, client, default_workload):
         # Real framing costs something, but nowhere near double.
         assert 1.0 <= inflation < 2.0, (protocol, inflation)
 
+        # Host-independent structure is regression-gated (wire
+        # inflation within tolerance, message count never grows);
+        # absolute timings are informational context.
+        metrics[f"{protocol}_inflation"] = round(inflation, 4)
+        metrics[f"{protocol}_messages"] = tcp_messages
+        metrics[f"{protocol}_tcp_seconds"] = round(tcp_seconds, 4)
+        metrics[f"{protocol}_bus_seconds"] = round(bus_seconds, 4)
+        gate[f"{protocol}_inflation"] = {
+            "direction": "max", "tolerance": 0.30,
+        }
+        gate[f"{protocol}_messages"] = {
+            "direction": "max", "tolerance": 0.0,
+        }
+
         lines.append(
             f"{protocol:18s} {'bus':8s} {bus_seconds:>9.4f} {bus_bytes:>9d} "
             f"{bus_messages:>5d} {'--':>9s}"
@@ -89,3 +108,4 @@ def test_bus_vs_loopback_report(ca, client, default_workload):
             f"{tcp_messages:>5d} {inflation:>8.2f}x"
         )
     write_report("transport_loopback.txt", "\n".join(lines))
+    write_bench_json("transport_loopback", metrics=metrics, gate=gate)

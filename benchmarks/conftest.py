@@ -9,6 +9,8 @@ the reproduction is inspectable after a run.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -73,3 +75,42 @@ def write_report(name: str, content: str) -> None:
     path = OUT_DIR / name
     path.write_text(content + "\n")
     print(f"\n{content}\n[written to {path}]")
+
+
+def smoke_mode() -> bool:
+    """CI smoke mode: trimmed runs, relaxed local assertions.
+
+    The CI perf gate sets ``REPRO_BENCH_SMOKE=1`` and relies on the
+    committed-baseline comparison (``scripts/check_perf_regression.py``)
+    rather than this process's hard thresholds.
+    """
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def write_bench_json(
+    bench: str,
+    metrics: dict[str, float],
+    gate: dict[str, dict[str, float | str]],
+    context: dict | None = None,
+) -> pathlib.Path:
+    """Emit a machine-readable perf artifact (``BENCH_<bench>.json``).
+
+    The document is self-describing for the CI perf-regression gate:
+    ``metrics`` are the measurements, ``gate`` declares which of them
+    are regression-gated and how (``direction`` ``"min"``/``"max"``
+    plus a relative ``tolerance``).  Only host-independent metrics
+    (ratios, counts) should be gated; absolute timings are context.
+    """
+    document = {
+        "schema": "repro-bench/1",
+        "bench": bench,
+        "smoke": smoke_mode(),
+        "metrics": metrics,
+        "gate": gate,
+        "context": context or {},
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json written to {path}]")
+    return path

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over committed ``BENCH_*.json`` baselines.
+
+The benchmarks emit self-describing perf artifacts (schema
+``repro-bench/1``, see ``benchmarks/conftest.py``): a ``metrics`` map
+plus a ``gate`` declaring which metrics are regression-gated and how —
+
+* ``direction: "max"`` — bigger is worse; the candidate must stay at or
+  below ``baseline * (1 + tolerance)``,
+* ``direction: "min"`` — bigger is better; the candidate must stay at
+  or above ``baseline * (1 - tolerance)``.
+
+Gate policy is taken from the **baseline** (the committed file is the
+contract); ungated metrics are reported but never fail the build.  Only
+host-independent metrics (ratios, counts) should be gated — absolute
+wall-clock differs between the baseline host and CI runners.
+
+Usage (what the ``perf-gate`` CI job runs)::
+
+    python scripts/check_perf_regression.py \
+        --baseline benchmarks/baselines --candidate benchmarks/out
+
+Exit codes: 0 all gates pass, 1 regression or missing candidate,
+2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "repro-bench/1"
+
+
+class GateError(Exception):
+    """Malformed artifact or gate declaration."""
+
+
+def load_bench(path: pathlib.Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: unreadable bench artifact: {exc}") from exc
+    if document.get("schema") != SCHEMA:
+        raise GateError(
+            f"{path}: expected schema {SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    for key in ("bench", "metrics", "gate"):
+        if key not in document:
+            raise GateError(f"{path}: missing {key!r}")
+    return document
+
+
+def check_metric(
+    name: str, rule: dict, baseline: float, candidate: float
+) -> tuple[bool, str]:
+    """Apply one gate rule; returns (passed, human verdict line)."""
+    direction = rule.get("direction")
+    tolerance = float(rule.get("tolerance", 0.0))
+    if direction == "max":
+        bound = baseline * (1.0 + tolerance)
+        passed = candidate <= bound
+        relation = f"<= {bound:g}"
+    elif direction == "min":
+        bound = baseline * (1.0 - tolerance)
+        passed = candidate >= bound
+        relation = f">= {bound:g}"
+    else:
+        raise GateError(f"gate {name!r}: unknown direction {direction!r}")
+    status = "ok  " if passed else "FAIL"
+    return passed, (
+        f"  {status} {name:32s} baseline {baseline:>10g}  "
+        f"candidate {candidate:>10g}  (need {relation})"
+    )
+
+
+def compare(baseline_doc: dict, candidate_doc: dict) -> tuple[bool, list[str]]:
+    lines: list[str] = []
+    all_passed = True
+    gate = baseline_doc["gate"]
+    base_metrics = baseline_doc["metrics"]
+    cand_metrics = candidate_doc["metrics"]
+    for name in sorted(gate):
+        if name not in base_metrics:
+            raise GateError(f"gated metric {name!r} missing from baseline")
+        if name not in cand_metrics:
+            all_passed = False
+            lines.append(f"  FAIL {name:32s} missing from candidate run")
+            continue
+        passed, line = check_metric(
+            name, gate[name],
+            float(base_metrics[name]), float(cand_metrics[name]),
+        )
+        all_passed &= passed
+        lines.append(line)
+    for name in sorted(set(cand_metrics) - set(gate)):
+        lines.append(
+            f"  info {name:32s} candidate {float(cand_metrics[name]):>10g}"
+            "  (ungated)"
+        )
+    return all_passed, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, type=pathlib.Path,
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--candidate", required=True, type=pathlib.Path,
+        help="directory of freshly measured BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--only", action="append", default=[], metavar="BENCH",
+        help="gate only these bench names (repeatable; default: every "
+             "baseline present)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if args.only:
+        baselines = [
+            path for path in baselines
+            if path.stem.removeprefix("BENCH_") in args.only
+        ]
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    try:
+        for baseline_path in baselines:
+            baseline_doc = load_bench(baseline_path)
+            candidate_path = args.candidate / baseline_path.name
+            print(f"{baseline_doc['bench']}:")
+            if not candidate_path.exists():
+                print(f"  FAIL candidate artifact {candidate_path} missing")
+                failures += 1
+                continue
+            candidate_doc = load_bench(candidate_path)
+            if candidate_doc["bench"] != baseline_doc["bench"]:
+                raise GateError(
+                    f"{candidate_path}: bench name mismatch "
+                    f"({candidate_doc['bench']!r} vs {baseline_doc['bench']!r})"
+                )
+            passed, lines = compare(baseline_doc, candidate_doc)
+            print("\n".join(lines))
+            if not passed:
+                failures += 1
+    except GateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if failures:
+        print(f"\nperf gate: {failures} bench(es) regressed")
+        return 1
+    print(f"\nperf gate: all {len(baselines)} bench(es) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

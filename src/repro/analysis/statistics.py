@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from scipy import stats
 
-from repro.analysis.views import iter_byte_material
 from repro.core.result import MediationResult
 from repro.errors import ProtocolError
 from repro.mediation.network import PartyView

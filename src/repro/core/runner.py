@@ -9,6 +9,7 @@ result and the full transcript for analysis.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any
 
 from repro.core.commutative import CommutativeConfig, run_commutative_delivery
@@ -22,6 +23,7 @@ from repro.deadline import deadline
 from repro.errors import ProtocolError, ReproError
 from repro.relational.algebra import evaluate_above_join
 from repro.relational.relation import Relation
+from repro.session import session_scope
 from repro.telemetry import tracing
 
 #: Protocol registry: name -> (delivery function, config class).
@@ -41,6 +43,7 @@ def run_join_query(
     *,
     on_failure: str = "raise",
     deadline_seconds: float | None = None,
+    session_id: str | None = None,
 ) -> MediationResult | RunFailure:
     """Run a global join query end to end under the named protocol.
 
@@ -64,6 +67,11 @@ def run_join_query(
       :class:`~repro.core.result.RunFailure` — carrying the partial
       transcript and any injected-fault events — instead of raising.
       Usage errors (unknown protocol, wrong config type) always raise.
+    * ``session_id`` runs the query inside a
+      :func:`~repro.session.session_scope`: every transport send, fault
+      decision, and span below carries the id, and endpoints key their
+      per-session state by it.  ``None`` leaves any enclosing scope in
+      force (or runs session-less, the legacy behaviour).
     """
     if protocol not in PROTOCOLS:
         raise ProtocolError(
@@ -80,9 +88,14 @@ def run_join_query(
             f"on_failure must be 'raise' or 'return', got {on_failure!r}"
         )
     client_party = federation.client.name if federation.client else "client"
+    scope = (
+        session_scope(session_id)
+        if session_id is not None
+        else contextlib.nullcontext()
+    )
     phase = "request"
     try:
-        with deadline(deadline_seconds), tracing.span(
+        with scope, deadline(deadline_seconds), tracing.span(
             "run_join_query", client_party, kind="run", protocol=protocol
         ):
             with tracing.span("request_phase", client_party, kind="phase"):

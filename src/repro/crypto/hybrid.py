@@ -19,7 +19,7 @@ from typing import Iterable, Mapping
 
 from repro.crypto import instrumentation, rsa, symmetric
 from repro.crypto.hashes import fingerprint
-from repro.crypto.numtheory import bytes_to_int, int_to_bytes
+from repro.crypto.numtheory import int_to_bytes
 from repro.errors import DecryptionError
 
 

@@ -97,6 +97,19 @@ class NetworkError(MediationError):
     """
 
 
+class ServerBusy(NetworkError):
+    """An endpoint rejected a new session for lack of capacity.
+
+    The receiver half of transport backpressure: a ``PartyServer`` at
+    its ``max_sessions`` admission limit answers the first message of a
+    new session with a BUSY frame instead of an acknowledgement.  The
+    TCP transport backs off under its :class:`RetryPolicy` and, once
+    attempts are exhausted, surfaces this type — so hardened callers
+    can distinguish "overloaded, try later" from a dead peer while
+    still catching it as a :class:`NetworkError`.
+    """
+
+
 class DeadlineExceeded(NetworkError):
     """A propagated run deadline expired before the operation finished.
 

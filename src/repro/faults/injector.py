@@ -44,13 +44,19 @@ class FaultInjector:
         self._triggers = [0] * len(plan.rules)
 
     def observe(
-        self, site: str, sender: str, receiver: str, kind: str
+        self,
+        site: str,
+        sender: str,
+        receiver: str,
+        kind: str,
+        session: str | None = None,
     ) -> list[FaultRule]:
         """Report one delivery attempt; returns the rules that fire.
 
         Every attempt counts — a retried message is a fresh observation,
         so an ``occurrence=N`` rule that already fired does not re-fire
-        on the retry it caused.
+        on the retry it caused.  ``session`` is the observed session id
+        (if any); session-scoped rules only match their own session.
         """
         if site not in SITE_ACTIONS:
             raise ValueError(f"unknown injection site {site!r}")
@@ -59,7 +65,7 @@ class FaultInjector:
             for index, rule in enumerate(self.plan.rules):
                 if rule.action not in SITE_ACTIONS[site]:
                     continue
-                if not rule.matches(sender, receiver, kind):
+                if not rule.matches(sender, receiver, kind, session):
                     continue
                 self._matches[index] += 1
                 if not self._should_fire(index, rule):
@@ -75,6 +81,7 @@ class FaultInjector:
                     kind=kind,
                     occurrence=self._matches[index],
                     detail=self._detail(rule),
+                    session=rule.session or "",
                 )
                 self.events.append(event)
                 fired.append(rule)

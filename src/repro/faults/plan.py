@@ -63,6 +63,9 @@ class FaultRule:
     receiver: str | None = None
     kind: str | None = None
     party: str | None = None
+    #: Matches only messages carrying this session id; ``None`` matches
+    #: any session, including legacy session-less traffic.
+    session: str | None = None
     #: Fire exactly on the N-th matching observation (1-based).
     occurrence: int | None = None
     #: Fire on each matching observation with this probability (seeded).
@@ -106,7 +109,13 @@ class FaultRule:
         """Whom a ``crash`` rule kills: party, else receiver, else sender."""
         return self.party or self.receiver or self.sender
 
-    def matches(self, sender: str, receiver: str, kind: str) -> bool:
+    def matches(
+        self,
+        sender: str,
+        receiver: str,
+        kind: str,
+        session: str | None = None,
+    ) -> bool:
         if self.sender is not None and self.sender != sender:
             return False
         if self.receiver is not None and self.receiver != receiver:
@@ -114,6 +123,8 @@ class FaultRule:
         if self.kind is not None and self.kind != kind:
             return False
         if self.party is not None and self.party not in (sender, receiver):
+            return False
+        if self.session is not None and self.session != session:
             return False
         return True
 
@@ -151,6 +162,10 @@ class FaultEvent:
     kind: str
     occurrence: int
     detail: str = ""
+    #: The *rule's* session matcher, not the observed session id —
+    #: observed ids are random per run, and recording them would break
+    #: the byte-identical log guarantee.  Empty for session-blind rules.
+    session: str = ""
 
     def summary(self) -> str:
         line = (
@@ -158,6 +173,8 @@ class FaultEvent:
             f"{self.sender}->{self.receiver} kind={self.kind} "
             f"occurrence={self.occurrence}"
         )
+        if self.session:
+            line = f"{line} session={self.session}"
         return f"{line} {self.detail}" if self.detail else line
 
 

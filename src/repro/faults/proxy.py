@@ -177,8 +177,10 @@ class ChaosProxy:
         envelope = self._peek(frame[codec.FRAME_HEADER_BYTES:])
         if envelope is None:
             return self._forward(server, frame)
-        sender, receiver, kind = envelope
-        fired = self.injector.observe("proxy", sender, receiver, kind)
+        sender, receiver, kind, session = envelope
+        fired = self.injector.observe(
+            "proxy", sender, receiver, kind, session=session
+        )
         actions = {rule.action: rule for rule in fired}
         if "delay" in actions:
             self._interruptible_sleep(actions["delay"].delay_seconds)
@@ -203,13 +205,15 @@ class ChaosProxy:
         return True
 
     @staticmethod
-    def _peek(payload: bytes) -> tuple[str, str, str] | None:
-        """(sender, receiver, kind) of a DATA payload, if decodable."""
+    def _peek(payload: bytes) -> tuple[str, str, str, str | None] | None:
+        """(sender, receiver, kind, session) of a DATA payload, if decodable."""
         try:
-            _, sender, receiver, kind, _, _, _ = codec.decode_envelope(payload)
+            (
+                _, sender, receiver, kind, _, _, _, session,
+            ) = codec.decode_envelope(payload)
         except Exception:
             return None
-        return sender, receiver, kind
+        return sender, receiver, kind, session
 
     @staticmethod
     def _corrupted(frame: bytes) -> bytes:

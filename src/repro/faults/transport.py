@@ -33,6 +33,7 @@ from repro.deadline import check_deadline
 from repro.errors import FaultInjectedError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent
+from repro.session import current_session_id
 from repro.transport.base import Message, Transport
 
 #: How a transient in-flight fault reads in the raised error.
@@ -92,7 +93,10 @@ class FaultyTransport(Transport):
         for attempt in range(self._attempts):
             check_deadline(f"send of {kind!r} from {sender!r} to {receiver!r}")
             self._require_alive(sender, receiver)
-            fired = self.injector.observe("transport", sender, receiver, kind)
+            fired = self.injector.observe(
+                "transport", sender, receiver, kind,
+                session=current_session_id(),
+            )
             try:
                 self._enact(fired, sender, receiver, kind)
             except FaultInjectedError as exc:

@@ -21,6 +21,7 @@ from repro.mediation.ca import verify_credential
 from repro.mediation.credentials import Credential
 from repro.relational.algebra import PartialQuery
 from repro.relational.relation import Relation
+from repro.session import SessionRegistry, current_session_id
 from repro.telemetry import tracing
 
 
@@ -39,6 +40,14 @@ class DataSource:
     #: where the translating source receives the opposite index table
     #: encrypted for itself.
     _keypair: rsa.RSAPrivateKey | None = field(default=None, repr=False)
+    #: Per-session verified-credential cache: within one mediation
+    #: session a credential whose CA signature already verified is not
+    #: re-verified on every partial query.  Keyed by session so the
+    #: cache can never launder a credential across clients; session-less
+    #: calls always verify (the legacy behaviour).
+    sessions: SessionRegistry = field(
+        default_factory=lambda: SessionRegistry(capacity=256), repr=False
+    )
 
     def ensure_keypair(self, bits: int = 1024) -> rsa.RSAPublicKey:
         """The source's own public encryption key (generated on demand)."""
@@ -76,19 +85,43 @@ class DataSource:
         the policy), but a *tampered* credential is a hard error — the
         paper's datasources only ever act on CA-certified properties.
         Verification of the whole set runs as one crypto-engine batch.
+
+        Inside a session scope, signatures that already verified in the
+        same session are skipped (keyed by the CA signature bytes, which
+        cover the full canonical payload — any tampering changes the
+        key and forces a fresh verification).
         """
         if self.ca_key is None:
             raise CredentialError(f"datasource {self.name} has no CA key")
-        engine = engine or get_engine()
-        verdicts = engine.map_batch(
-            verify_credential,
-            [(credential, self.ca_key) for credential in credentials],
+        verified = self._session_verified()
+        pending = (
+            credentials
+            if verified is None
+            else [c for c in credentials if c.signature not in verified]
         )
-        if not all(verdicts):
-            raise CredentialError(
-                f"datasource {self.name}: credential signature invalid"
+        if pending:
+            engine = engine or get_engine()
+            verdicts = engine.map_batch(
+                verify_credential,
+                [(credential, self.ca_key) for credential in pending],
             )
+            if not all(verdicts):
+                raise CredentialError(
+                    f"datasource {self.name}: credential signature invalid"
+                )
+            if verified is not None:
+                verified.update(credential.signature for credential in pending)
         return list(credentials)
+
+    def _session_verified(self) -> set[bytes] | None:
+        """The current session's verified-signature set, or None outside
+        any session scope (no caching then)."""
+        session_id = current_session_id()
+        if session_id is None:
+            return None
+        session = self.sessions.get(session_id)
+        with session.lock:
+            return session.state.setdefault("verified_signatures", set())
 
     def execute_partial_query(
         self, query: PartialQuery, credentials: list[Credential]

@@ -23,6 +23,7 @@ from repro.mediation.credentials import Credential
 from repro.relational import sql
 from repro.relational.algebra import AlgebraNode, Join, PartialQuery
 from repro.relational.schema import Schema
+from repro.session import SessionRegistry, current_session_id
 from repro.telemetry import tracing
 
 
@@ -51,6 +52,14 @@ class Mediator:
     #: datasources pre-filter partial results (the Section 2 "more
     #: complex queries could be executed by the datasources" extension).
     push_down: bool = False
+    #: Per-session decomposition cache: a client running a *series* of
+    #: queries in one session re-decomposes each distinct query text
+    #: once.  Keyed by session so no session can observe (via routing
+    #: state) what another session asked; session-less runs bypass the
+    #: cache entirely.
+    sessions: SessionRegistry = field(
+        default_factory=lambda: SessionRegistry(capacity=256)
+    )
 
     def register_source(self, source_name: str, *schemas: Schema,
                         property_names: frozenset[str] = frozenset()) -> None:
@@ -81,8 +90,25 @@ class Mediator:
         method enforces that shape and extracts the join attributes from
         the embedded global schema.
         """
-        with tracing.span("decompose_join", self.name, kind="mediation"):
-            return self._decompose_join(query)
+        session_id = current_session_id()
+        if session_id is None:
+            with tracing.span("decompose_join", self.name, kind="mediation"):
+                return self._decompose_join(query)
+        session = self.sessions.get(session_id)
+        with session.lock:
+            cache: dict[str, JoinDecomposition] = session.state.setdefault(
+                "decompositions", {}
+            )
+            cached = cache.get(query)
+            if cached is not None:
+                return cached
+        with tracing.span(
+            "decompose_join", self.name, kind="mediation", cached=False
+        ):
+            decomposition = self._decompose_join(query)
+        with session.lock:
+            cache[query] = decomposition
+        return decomposition
 
     def _decompose_join(self, query: str) -> JoinDecomposition:
         tree = sql.parse(query)

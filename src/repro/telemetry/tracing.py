@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.errors import TelemetryError
+from repro.session import current_session_id
 
 #: W3C-trace-context-sized identifiers (hex strings).
 TRACE_ID_BYTES = 16
@@ -280,10 +281,19 @@ def current_context() -> SpanContext | None:
 
 @contextmanager
 def span(name: str, party: str, **attributes: Any) -> Iterator[Span | None]:
-    """Open a span on the installed tracer; a no-op when none is set."""
+    """Open a span on the installed tracer; a no-op when none is set.
+
+    When a :func:`repro.session.session_scope` is active, the span is
+    automatically tagged with its ``session`` id — this is what lets a
+    multi-session trace be filtered back into per-session timelines.
+    """
     tracer = _installed_tracer
     if tracer is None:
         yield None
         return
+    if "session" not in attributes:
+        session_id = current_session_id()
+        if session_id is not None:
+            attributes["session"] = session_id
     with tracer.span(name, party, attributes=attributes) as opened:
         yield opened

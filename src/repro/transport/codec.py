@@ -10,9 +10,11 @@ credentials — must survive a real wire.  This module defines:
 * an **envelope codec**: the ``(sequence, sender, receiver, kind, body)``
   tuple every transmitted message is wrapped in, optionally extended
   with a sixth ``(trace_id, span_id)`` element carrying distributed
-  trace context (see ``docs/observability.md``) and a seventh
+  trace context (see ``docs/observability.md``), a seventh
   ``request_id`` string that endpoints deduplicate re-deliveries on
-  (see ``docs/robustness.md``),
+  (see ``docs/robustness.md``), and an eighth ``session_id`` string
+  that endpoints key per-session protocol state by (see
+  ``docs/transport.md``),
 * **framing**: an 8-byte frame header (magic, version, frame type,
   payload length) plus asyncio stream helpers.
 
@@ -79,9 +81,14 @@ FETCH = 0x05   # request the endpoint's recorded view
 VIEW = 0x06    # response to FETCH
 TELEMETRY = 0x07       # request the endpoint's spans and metrics
 TELEMETRY_DATA = 0x08  # response to TELEMETRY
+SESSION = 0x09         # session lifecycle control (open / close)
+BUSY = 0x0A    # endpoint at session capacity: back off and retry
 ERROR = 0x7F   # remote failure report
 
-_FRAME_TYPES = {DATA, ACK, HELLO, OK, FETCH, VIEW, TELEMETRY, TELEMETRY_DATA, ERROR}
+_FRAME_TYPES = {
+    DATA, ACK, HELLO, OK, FETCH, VIEW,
+    TELEMETRY, TELEMETRY_DATA, SESSION, BUSY, ERROR,
+}
 
 # -- value tags ---------------------------------------------------------------
 
@@ -584,6 +591,7 @@ def encode_envelope(
     body: Any,
     trace: tuple[str, str] | None = None,
     request_id: str | None = None,
+    session_id: str | None = None,
 ) -> bytes:
     """Encode one message envelope (the payload of a DATA frame).
 
@@ -591,11 +599,19 @@ def encode_envelope(
     the sender-side span this message belongs to.  ``request_id`` is an
     optional globally unique delivery token: endpoints deduplicate DATA
     frames on it, which is what makes sender-side re-delivery after an
-    ambiguous failure safe (see ``docs/robustness.md``).  Envelopes
-    carrying neither keep the historical 5-tuple wire shape
-    byte-for-byte; a request id forces the 7-element shape with the
-    trace slot explicitly ``None``.
+    ambiguous failure safe (see ``docs/robustness.md``).  ``session_id``
+    names the client session the message belongs to; endpoints key all
+    per-session protocol state (views, dedupe windows, telemetry) by it
+    (see ``docs/transport.md``).  Envelopes carrying none of the three
+    keep the historical 5-tuple wire shape byte-for-byte; each later
+    element forces the shape that includes it, with the skipped slots
+    explicitly ``None``.
     """
+    if session_id is not None:
+        return encode_value(
+            (sequence, sender, receiver, kind, body, trace, request_id,
+             session_id)
+        )
     if request_id is not None:
         return encode_value(
             (sequence, sender, receiver, kind, body, trace, request_id)
@@ -607,23 +623,27 @@ def encode_envelope(
 
 def decode_envelope(
     data: bytes,
-) -> tuple[int, str, str, str, Any, tuple[str, str] | None, str | None]:
+) -> tuple[
+    int, str, str, str, Any,
+    tuple[str, str] | None, str | None, str | None,
+]:
     """Inverse of :func:`encode_envelope`, with shape validation.
 
-    Always returns a 7-tuple ``(sequence, sender, receiver, kind, body,
-    trace, request_id)``; the trace context and request id are ``None``
-    when the envelope did not carry them.
+    Always returns an 8-tuple ``(sequence, sender, receiver, kind,
+    body, trace, request_id, session_id)``; the trace context, request
+    id, and session id are ``None`` when the envelope did not carry
+    them.
     """
     envelope = decode_value(data)
     if (
         not isinstance(envelope, tuple)
-        or len(envelope) not in (5, 6, 7)
+        or len(envelope) not in (5, 6, 7, 8)
         or not isinstance(envelope[0], int)
         or not all(isinstance(part, str) for part in envelope[1:4])
     ):
         raise ValueCodecError("malformed message envelope")
     if len(envelope) == 5:
-        return (*envelope, None, None)
+        return (*envelope, None, None, None)
     trace = envelope[5]
     if trace is not None and (
         not isinstance(trace, tuple)
@@ -635,10 +655,22 @@ def decode_envelope(
         if trace is None:
             # The 6-element shape always carries a real trace context.
             raise ValueCodecError("malformed envelope trace context")
-        return (*envelope, None)
+        return (*envelope, None, None)
     request_id = envelope[6]
-    if not isinstance(request_id, str) or not request_id:
+    if len(envelope) == 7:
+        # The 7-element shape always carries a real request id.
+        if not isinstance(request_id, str) or not request_id:
+            raise ValueCodecError("malformed envelope request id")
+        return (*envelope, None)
+    # 8-element shape: the request-id slot may be None, the session id
+    # is always a real identifier (it is what forced this shape).
+    if request_id is not None and (
+        not isinstance(request_id, str) or not request_id
+    ):
         raise ValueCodecError("malformed envelope request id")
+    session_id = envelope[7]
+    if not isinstance(session_id, str) or not session_id:
+        raise ValueCodecError("malformed envelope session id")
     return envelope
 
 

@@ -13,12 +13,31 @@ Endpoints speak a tiny control protocol next to DATA frames:
   transport verifies it reached the party it thinks it did.
 * ``FETCH {}``       -> ``VIEW [record, ...]`` — the endpoint's recorded
   view, for reconciling remote observations against the sender-side
-  transcript.
+  transcript; ``FETCH {session}`` narrows it to one session's records.
 * ``TELEMETRY {}``   -> ``TELEMETRY_DATA {spans, metrics, exposition}`` —
   the endpoint's collected telemetry: ``recv:`` spans (stitched into the
   sender's trace via the envelope's trace context), a metrics snapshot,
-  and a rendered Prometheus text exposition.
+  and a rendered Prometheus text exposition; ``TELEMETRY {session}``
+  narrows the span list to one session.
+* ``SESSION {op, session}`` -> ``OK`` — explicit session lifecycle
+  (``op`` is ``"open"`` or ``"close"``); opens are idempotent, and an
+  open refused for capacity is answered with ``BUSY`` instead.
 * misdelivered or malformed frames -> ``ERROR {error}``.
+
+**Sessions.**  Every envelope may carry a ``session_id`` (the 8th
+element); the endpoint keys all per-session protocol state — the
+session's view of the traffic, its request-id dedupe window, its
+``recv:`` span attribution — in a :class:`~repro.session.SessionRegistry`
+with LRU + TTL eviction, so one client's queries are invisible to
+another's and abandoned sessions cannot leak memory.  Distinct sessions
+execute in parallel on the endpoint's worker pool (``max_workers``
+slots) while a per-session lock serializes steps *within* each session.
+When ``max_sessions`` live sessions exist, the first message of any new
+session is answered with a ``BUSY`` frame — the client transport backs
+off under its retry policy and surfaces
+:class:`~repro.errors.ServerBusy` when the budget runs out.  Legacy
+session-less traffic shares one ``"legacy"`` state slot and is never
+refused, preserving the pre-session wire behaviour exactly.
 
 Every endpoint owns a private span collector and metrics registry —
 independent of the process-wide installed telemetry — so a ``repro
@@ -43,6 +62,12 @@ import asyncio
 from dataclasses import asdict, dataclass
 
 from repro.errors import NetworkError
+from repro.session import (
+    DEFAULT_SESSION_TTL,
+    LEGACY_SESSION,
+    Session,
+    SessionRegistry,
+)
 from repro.telemetry.exporters import prometheus_exposition
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracing import SpanContext, Tracer
@@ -54,12 +79,21 @@ ENDPOINT_MESSAGES_METRIC = "repro_endpoint_messages_total"
 ENDPOINT_BYTES_METRIC = "repro_endpoint_bytes_total"
 #: Counter of duplicate deliveries absorbed by request-id dedupe.
 ENDPOINT_DUPLICATES_METRIC = "repro_endpoint_duplicates_total"
+#: Counter of session lifecycle events (opened/closed/ttl/lru).
+ENDPOINT_SESSIONS_METRIC = "repro_endpoint_sessions_total"
+#: Counter of new sessions refused for capacity (BUSY answers).
+ENDPOINT_BUSY_METRIC = "repro_endpoint_busy_total"
 
-#: Acknowledgements remembered for request-id deduplication.  Bounds
-#: memory on very long-lived ``serve`` processes; a duplicate older
-#: than the window is re-recorded, which only ever happens after the
-#: sender has long given up on the original delivery.
+#: Acknowledgements remembered for request-id deduplication, **per
+#: session**.  Bounds memory on very long-lived ``serve`` processes; a
+#: duplicate older than the window is re-recorded, which only ever
+#: happens after the sender has long given up on the original delivery.
 DEDUPE_WINDOW = 4096
+
+#: Live sessions an endpoint admits before answering BUSY.
+DEFAULT_MAX_SESSIONS = 64
+#: Data messages processed concurrently across sessions.
+DEFAULT_MAX_WORKERS = 8
 
 
 @dataclass(frozen=True)
@@ -89,7 +123,17 @@ class PartyServer:
         *,
         max_messages: int | None = None,
         on_message=None,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        session_ttl: float | None = DEFAULT_SESSION_TTL,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        ack_delay: float = 0.0,
     ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if ack_delay < 0:
+            raise ValueError(f"ack_delay must be >= 0, got {ack_delay}")
         self.party = party
         self.host = host
         self.port = port
@@ -101,9 +145,24 @@ class PartyServer:
         self._on_message = on_message
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
-        #: request_id -> acknowledgement payload, for idempotent
-        #: re-delivery (insertion-ordered; oldest evicted first).
-        self._acknowledged: dict[str, dict] = {}
+        self.max_sessions = max_sessions
+        #: Per-session protocol state: each session's ``state`` dict
+        #: holds its view (``"records"``) and its dedupe window
+        #: (``"acked"``: request_id -> acknowledgement payload,
+        #: insertion-ordered, oldest evicted first).  Locks are asyncio
+        #: locks — all session steps run on the server's event loop.
+        self.sessions = SessionRegistry(
+            capacity=max_sessions,
+            ttl=session_ttl,
+            lock_factory=asyncio.Lock,
+            on_evict=self._session_ended,
+        )
+        #: Bounds concurrent DATA processing across sessions.
+        self._worker_slots = asyncio.Semaphore(max_workers)
+        #: Simulated per-message service latency (models the link RTT a
+        #: distributed deployment would pay); concurrent sessions
+        #: overlap it, sequential clients pay it serially.
+        self.ack_delay = ack_delay
 
     # -- lifecycle --------------------------------------------------------
 
@@ -132,6 +191,7 @@ class PartyServer:
         for writer in list(self._writers):
             writer.close()
         self._writers.clear()
+        self.sessions.clear()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -174,16 +234,25 @@ class PartyServer:
             )
             return False
         if frame_type == codec.FETCH:
-            view = [asdict(record) for record in self.records]
+            session_id = self._requested_session(payload)
+            if session_id is None:
+                view = [asdict(record) for record in self.records]
+            else:
+                view = [
+                    asdict(record) for record in self.session_records(session_id)
+                ]
             await codec.write_frame(writer, codec.VIEW, codec.encode_value(view))
             return False
         if frame_type == codec.TELEMETRY:
+            session_id = self._requested_session(payload)
             await codec.write_frame(
                 writer,
                 codec.TELEMETRY_DATA,
-                codec.encode_value(self.telemetry_snapshot()),
+                codec.encode_value(self.telemetry_snapshot(session=session_id)),
             )
             return False
+        if frame_type == codec.SESSION:
+            return await self._session_control(payload, writer)
         await codec.write_frame(
             writer,
             codec.ERROR,
@@ -205,9 +274,8 @@ class PartyServer:
             writer.transport.abort()
             return True
         try:
-            sequence, sender, receiver, kind, _body, trace, request_id = (
-                codec.decode_envelope(payload)
-            )
+            sequence, sender, receiver, kind, _body, trace, request_id, \
+                session_id = codec.decode_envelope(payload)
         except Exception as exc:  # malformed payload: report, keep serving
             await codec.write_frame(
                 writer,
@@ -215,81 +283,212 @@ class PartyServer:
                 codec.encode_value({"error": f"undecodable envelope: {exc}"}),
             )
             return False
-        if request_id is not None and request_id in self._acknowledged:
-            # Idempotent re-delivery: the sender retried a message we
-            # already recorded (its copy of our ACK was lost, or a
-            # chaos proxy duplicated the frame).  Re-acknowledge with
-            # the original payload; record and observe nothing.
-            self.registry.counter(
-                ENDPOINT_DUPLICATES_METRIC,
-                {"party": self.party, "sender": sender, "kind": kind},
-                help_text="Duplicate deliveries absorbed by request-id dedupe",
-            ).inc()
+        session = self._admit(session_id)
+        if session is None:
+            await self._busy(writer)
+            return False
+        # Session lock first, worker slot second: a queued same-session
+        # message waits on its session without pinning a worker slot.
+        async with session.lock, self._worker_slots:
+            acked: dict[str, dict] = session.state.setdefault("acked", {})
+            if request_id is not None and request_id in acked:
+                # Idempotent re-delivery: the sender retried a message
+                # we already recorded (its copy of our ACK was lost, or
+                # a chaos proxy duplicated the frame).  Re-acknowledge
+                # with the original payload; record and observe nothing.
+                self.registry.counter(
+                    ENDPOINT_DUPLICATES_METRIC,
+                    {"party": self.party, "sender": sender, "kind": kind},
+                    help_text=(
+                        "Duplicate deliveries absorbed by request-id dedupe"
+                    ),
+                ).inc()
+                await codec.write_frame(
+                    writer, codec.ACK, codec.encode_value(acked[request_id])
+                )
+                return False
+            if receiver != self.party:
+                await codec.write_frame(
+                    writer,
+                    codec.ERROR,
+                    codec.encode_value(
+                        {
+                            "error": (
+                                f"misdelivered message for {receiver!r} at "
+                                f"endpoint {self.party!r}"
+                            )
+                        }
+                    ),
+                )
+                return False
+            if self.ack_delay:
+                # Simulated link/service latency: sessions overlap it.
+                await asyncio.sleep(self.ack_delay)
+            record = RemoteRecord(
+                sequence=sequence,
+                sender=sender,
+                receiver=receiver,
+                kind=kind,
+                wire_bytes=codec.FRAME_HEADER_BYTES + len(payload),
+            )
+            self._observe(record, SpanContext.from_wire(trace), session_id)
+            self.records.append(record)
+            session.state.setdefault("records", []).append(record)
+            if self._on_message is not None:
+                self._on_message(record)
+            acknowledgement = {
+                "sequence": sequence, "wire_bytes": record.wire_bytes,
+            }
+            if request_id is not None:
+                acked[request_id] = acknowledgement
+                while len(acked) > DEDUPE_WINDOW:
+                    acked.pop(next(iter(acked)))
             await codec.write_frame(
-                writer,
-                codec.ACK,
-                codec.encode_value(self._acknowledged[request_id]),
+                writer, codec.ACK, codec.encode_value(acknowledgement)
             )
             return False
-        if receiver != self.party:
+
+    # -- sessions ----------------------------------------------------------
+
+    def _admit(self, session_id: str | None) -> Session | None:
+        """The session a message belongs to, or ``None`` for BUSY.
+
+        Legacy session-less traffic shares the ``"legacy"`` slot and is
+        always admitted — the pre-session contract.  A *new* session id
+        arriving while ``max_sessions`` are live is refused; known live
+        sessions are never refused.
+        """
+        if session_id is None:
+            session_id = LEGACY_SESSION
+        elif (
+            session_id not in self.sessions
+            and len(self.sessions) >= self.max_sessions
+        ):
+            return None
+        opened = session_id not in self.sessions
+        session = self.sessions.get(session_id)
+        if opened:
+            self.registry.counter(
+                ENDPOINT_SESSIONS_METRIC,
+                {"party": self.party, "event": "opened"},
+                help_text="Session lifecycle events at a party endpoint",
+            ).inc()
+        return session
+
+    async def _busy(self, writer: asyncio.StreamWriter) -> None:
+        """Refuse a new session: answer BUSY, keep the connection."""
+        self.registry.counter(
+            ENDPOINT_BUSY_METRIC,
+            {"party": self.party},
+            help_text="New sessions refused for capacity",
+        ).inc()
+        await codec.write_frame(
+            writer,
+            codec.BUSY,
+            codec.encode_value(
+                {
+                    "party": self.party,
+                    "sessions": len(self.sessions),
+                    "max_sessions": self.max_sessions,
+                }
+            ),
+        )
+
+    async def _session_control(
+        self, payload: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle an explicit SESSION open/close frame."""
+        try:
+            request = codec.decode_value(payload)
+            operation = request["op"]
+            session_id = request["session"]
+            if operation not in ("open", "close") or not isinstance(
+                session_id, str
+            ) or not session_id:
+                raise ValueError(f"malformed session request {request!r}")
+        except Exception as exc:
             await codec.write_frame(
                 writer,
                 codec.ERROR,
-                codec.encode_value(
-                    {
-                        "error": (
-                            f"misdelivered message for {receiver!r} at "
-                            f"endpoint {self.party!r}"
-                        )
-                    }
-                ),
+                codec.encode_value({"error": f"bad SESSION frame: {exc}"}),
             )
             return False
-        record = RemoteRecord(
-            sequence=sequence,
-            sender=sender,
-            receiver=receiver,
-            kind=kind,
-            wire_bytes=codec.FRAME_HEADER_BYTES + len(payload),
-        )
-        self._observe(record, SpanContext.from_wire(trace))
-        self.records.append(record)
-        if self._on_message is not None:
-            self._on_message(record)
-        acknowledgement = {
-            "sequence": sequence, "wire_bytes": record.wire_bytes,
-        }
-        if request_id is not None:
-            self._acknowledged[request_id] = acknowledgement
-            while len(self._acknowledged) > DEDUPE_WINDOW:
-                self._acknowledged.pop(next(iter(self._acknowledged)))
+        if operation == "open":
+            session = self._admit(session_id)
+            if session is None:
+                await self._busy(writer)
+                return False
+        else:
+            self.sessions.close(session_id)
         await codec.write_frame(
-            writer, codec.ACK, codec.encode_value(acknowledgement)
+            writer,
+            codec.OK,
+            codec.encode_value(
+                {"party": self.party, "op": operation, "session": session_id}
+            ),
         )
         return False
+
+    def _session_ended(self, session: Session, reason: str) -> None:
+        """Registry eviction hook: count how each session ended."""
+        event = "closed" if reason == "closed" else reason
+        self.registry.counter(
+            ENDPOINT_SESSIONS_METRIC,
+            {"party": self.party, "event": event},
+            help_text="Session lifecycle events at a party endpoint",
+        ).inc()
+
+    def session_records(self, session_id: str) -> list[RemoteRecord]:
+        """One session's view of the traffic (empty if unknown)."""
+        session = self.sessions.peek(session_id)
+        if session is None:
+            return []
+        return list(session.state.get("records", []))
+
+    @staticmethod
+    def _requested_session(payload: bytes) -> str | None:
+        """The ``session`` filter of a FETCH/TELEMETRY payload, if any."""
+        try:
+            request = codec.decode_value(payload)
+        except Exception:
+            return None
+        if isinstance(request, dict):
+            session_id = request.get("session")
+            if isinstance(session_id, str) and session_id:
+                return session_id
+        return None
 
     # -- telemetry ---------------------------------------------------------
 
     def _observe(
-        self, record: RemoteRecord, parent: SpanContext | None
+        self,
+        record: RemoteRecord,
+        parent: SpanContext | None,
+        session_id: str | None = None,
     ) -> None:
         """Record one received message into the endpoint collectors.
 
         When the envelope carried trace context, the ``recv:`` span is
         parented on the sender's ``send:`` span — that edge is what
-        stitches per-process traces into one distributed trace.
+        stitches per-process traces into one distributed trace.  When it
+        carried a session id, the span is tagged with it, so one
+        session's spans can be harvested (and stitched) independently
+        of every other session's.
         """
         if parent is not None:
+            attributes = {
+                "kind": "message",
+                "sender": record.sender,
+                "sequence": record.sequence,
+                "wire_bytes": record.wire_bytes,
+            }
+            if session_id is not None:
+                attributes["session"] = session_id
             span = self.tracer.start_span(
                 f"recv:{record.kind}",
                 self.party,
                 parent=parent,
-                attributes={
-                    "kind": "message",
-                    "sender": record.sender,
-                    "sequence": record.sequence,
-                    "wire_bytes": record.wire_bytes,
-                },
+                attributes=attributes,
             )
             self.tracer.end_span(span)
         labels = {
@@ -306,11 +505,23 @@ class PartyServer:
             help_text="Wire bytes received at a party endpoint",
         ).inc(record.wire_bytes)
 
-    def telemetry_snapshot(self) -> dict:
-        """Spans, metrics snapshot, and exposition for TELEMETRY_DATA."""
+    def telemetry_snapshot(self, session: str | None = None) -> dict:
+        """Spans, metrics snapshot, and exposition for TELEMETRY_DATA.
+
+        ``session`` narrows the span list to one session's ``recv:``
+        spans; the metrics snapshot stays endpoint-wide (counters
+        aggregate across sessions by design).
+        """
+        spans = [span.to_dict() for span in self.tracer.spans]
+        if session is not None:
+            spans = [
+                span
+                for span in spans
+                if span.get("attributes", {}).get("session") == session
+            ]
         return {
             "party": self.party,
-            "spans": [span.to_dict() for span in self.tracer.spans],
+            "spans": spans,
             "metrics": self.registry.snapshot(),
             "exposition": prometheus_exposition(self.registry),
         }

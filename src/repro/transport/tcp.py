@@ -34,6 +34,20 @@ Failure semantics (hardened — see ``docs/robustness.md``):
 * Every :class:`~repro.errors.NetworkError` raised here names the
   remote host, port, and the timeout budget that governed the wait.
 
+Concurrency (see ``docs/transport.md``):
+
+* Connections are **pooled** per peer: a send checks a persistent
+  connection out, returns it healthy, and at most
+  ``RetryPolicy.pool_size`` idle sockets are kept — sequential traffic
+  reuses one socket; concurrent sessions fan out without a
+  connect-per-send tax.
+* The caller's :func:`~repro.session.session_scope` rides every
+  envelope as its ``session_id``; endpoints key per-session state by
+  it.  An endpoint at capacity answers BUSY, which backs off under the
+  retry policy and surfaces as :class:`~repro.errors.ServerBusy` once
+  the budget is exhausted.  Sessions are closed at the endpoints on
+  :meth:`TcpTransport.close`.
+
 The message body a receiver-side protocol step consumes is the
 **decoded** round-trip of the encoded frame, never the sender's live
 object — a serialization gap cannot hide behind in-process object
@@ -50,7 +64,8 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.deadline import Deadline, current_deadline
-from repro.errors import DeadlineExceeded, NetworkError
+from repro.errors import DeadlineExceeded, NetworkError, ServerBusy
+from repro.session import current_session_id
 from repro.telemetry import tracing
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.telemetry.tracing import Span, Tracer
@@ -60,6 +75,10 @@ from repro.transport.server import PartyServer, RemoteRecord
 
 #: Counter of delivery/control retries, labelled by party and operation.
 TRANSPORT_RETRIES_METRIC = "repro_transport_retries_total"
+#: Counter of TCP connections actually dialled, labelled by party.
+#: Connection pooling shows up here: N sends over one persistent
+#: connection increment it once.
+TRANSPORT_CONNECTS_METRIC = "repro_transport_connections_total"
 
 
 @dataclass(frozen=True)
@@ -81,6 +100,11 @@ class RetryPolicy:
     #: Seconds granted to the shutdown coroutine and the loop thread
     #: join during :meth:`TcpTransport.close`.
     shutdown_timeout: float = 5.0
+    #: Idle persistent connections kept per peer.  Sends check a
+    #: connection out of the pool and return it healthy, so sequential
+    #: traffic reuses one socket and concurrent sessions fan out to at
+    #: most this many.
+    pool_size: int = 2
 
     def delay(self, attempt: int, rng: random.Random | None = None) -> float:
         base = min(self.max_delay, self.base_delay * (2 ** attempt))
@@ -98,15 +122,27 @@ class TcpTransport(Transport):
         *,
         retry: RetryPolicy | None = None,
         host: str = "127.0.0.1",
+        server_options: Mapping[str, Any] | None = None,
     ) -> None:
         super().__init__()
         self.retry = retry or RetryPolicy()
         self._endpoints: dict[str, tuple[str, int]] = dict(endpoints or {})
         self._host = host
+        #: Keyword arguments applied to every locally hosted
+        #: :class:`PartyServer` (``max_sessions``, ``ack_delay``, ...).
+        self._server_options = dict(server_options or {})
         self._servers: dict[str, PartyServer] = {}
-        self._streams: dict[
-            str, tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        #: Idle persistent connections per peer, most recently used
+        #: last.  All pool operations run on the transport loop, so no
+        #: lock is needed; a checked-out connection is simply absent
+        #: from the pool until released.
+        self._pools: dict[
+            str, list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]
         ] = {}
+        #: Session ids this transport has put on the wire; told to every
+        #: endpoint (SESSION close) at shutdown so server-side state is
+        #: released eagerly instead of waiting for the TTL sweep.
+        self._sessions_used: set[str] = set()
         self._closed = False
         #: Distinguishes this transport's envelopes in request ids, so
         #: endpoint dedupe never conflates two transports' sequences.
@@ -145,7 +181,9 @@ class TcpTransport(Transport):
         """
         super().register(party)
         if party not in self._endpoints:
-            server = PartyServer(party, host=self._host, port=0)
+            server = PartyServer(
+                party, host=self._host, port=0, **self._server_options
+            )
             self._endpoints[party] = self._run(server.start())
             self._servers[party] = server
         self._run(self._handshake(party))
@@ -167,6 +205,9 @@ class TcpTransport(Transport):
         transport loop explicitly.
         """
         self._require_parties(sender, receiver)
+        session_id = current_session_id()
+        if session_id is not None:
+            self._sessions_used.add(session_id)
         with tracing.span(
             f"send:{kind}", sender, kind="message", receiver=receiver
         ) as span:
@@ -175,6 +216,7 @@ class TcpTransport(Transport):
             payload = codec.encode_envelope(
                 sequence, sender, receiver, kind, body,
                 trace=trace, request_id=f"{self._origin}:{sequence}",
+                session_id=session_id,
             )
             frame = codec.build_frame(codec.DATA, payload)
             self._run(
@@ -191,30 +233,70 @@ class TcpTransport(Transport):
                 span.attributes["sequence"] = message.sequence
             return message
 
-    def remote_view(self, party: str) -> list[RemoteRecord]:
-        """Fetch the view recorded at a party's endpoint (FETCH/VIEW)."""
+    def remote_view(
+        self, party: str, session: str | None = None
+    ) -> list[RemoteRecord]:
+        """Fetch the view recorded at a party's endpoint (FETCH/VIEW).
+
+        ``session`` narrows the view to one session's records — the
+        isolation boundary: a session filter never reveals another
+        session's traffic.
+        """
         if party not in self._parties:
             raise NetworkError(f"unknown party {party!r}")
+        body = {} if session is None else {"session": session}
         response = self._run(
             self._request(
-                party, codec.FETCH, {}, expect=codec.VIEW,
+                party, codec.FETCH, body, expect=codec.VIEW,
                 deadline=current_deadline(),
             )
         )
         return [RemoteRecord(**record) for record in response]
 
-    def remote_telemetry(self, party: str) -> dict:
+    def open_session(self, session_id: str, parties=None) -> None:
+        """Explicitly open a session at endpoints (SESSION/OK round).
+
+        Optional — the first DATA frame of a session opens it
+        implicitly — but an explicit open surfaces
+        :class:`~repro.errors.ServerBusy` *before* any protocol work is
+        done.  Defaults to every registered party.
+        """
+        self._sessions_used.add(session_id)
+        for party in (parties if parties is not None else list(self._parties)):
+            self._run(
+                self._request(
+                    party, codec.SESSION,
+                    {"op": "open", "session": session_id},
+                    expect=codec.OK, deadline=current_deadline(),
+                )
+            )
+
+    def close_session(self, session_id: str, parties=None) -> None:
+        """Explicitly close a session at endpoints, releasing its state."""
+        for party in (parties if parties is not None else list(self._parties)):
+            self._run(
+                self._request(
+                    party, codec.SESSION,
+                    {"op": "close", "session": session_id},
+                    expect=codec.OK, deadline=current_deadline(),
+                )
+            )
+        self._sessions_used.discard(session_id)
+
+    def remote_telemetry(self, party: str, session: str | None = None) -> dict:
         """Fetch the telemetry collected at a party's endpoint.
 
         Returns the ``TELEMETRY_DATA`` payload: ``{"party", "spans",
         "metrics", "exposition"}`` (see
         :meth:`repro.transport.server.PartyServer.telemetry_snapshot`).
+        ``session`` narrows the span list to one session's spans.
         """
         if party not in self._parties:
             raise NetworkError(f"unknown party {party!r}")
+        body = {} if session is None else {"session": session}
         response = self._run(
             self._request(
-                party, codec.TELEMETRY, {}, expect=codec.TELEMETRY_DATA,
+                party, codec.TELEMETRY, body, expect=codec.TELEMETRY_DATA,
                 deadline=current_deadline(),
             )
         )
@@ -270,9 +352,7 @@ class TcpTransport(Transport):
         server = self._servers.get(party)
 
         async def _crash() -> None:
-            cached = self._streams.pop(party, None)
-            if cached is not None:
-                cached[1].close()
+            self._drop_pool(party)
             if server is not None:
                 await server.stop()
 
@@ -313,11 +393,37 @@ class TcpTransport(Transport):
         self.close()
 
     async def _shutdown(self) -> None:
-        for _, writer in self._streams.values():
-            writer.close()
-        self._streams.clear()
+        await self._farewell_sessions()
+        for party in list(self._pools):
+            self._drop_pool(party)
         for server in self._servers.values():
             await server.stop()
+
+    async def _farewell_sessions(self) -> None:
+        """Best-effort SESSION close for every session this transport
+        used, at every endpoint — one attempt, short timeout, failures
+        ignored (the endpoint's TTL sweep is the backstop)."""
+        if not self._sessions_used:
+            return
+        timeout = min(1.0, self.retry.io_timeout)
+        for party in self._parties:
+            for session_id in self._sessions_used:
+                try:
+                    reader, writer = await self._acquire(party)
+                except Exception:
+                    break  # endpoint unreachable: skip its remaining closes
+                try:
+                    await codec.write_frame(
+                        writer,
+                        codec.SESSION,
+                        codec.encode_value(
+                            {"op": "close", "session": session_id}
+                        ),
+                    )
+                    await codec.read_frame(reader, timeout)
+                    self._release(party, (reader, writer))
+                except Exception:
+                    writer.close()
 
     # -- connection management (runs on the transport loop) ----------------
 
@@ -366,13 +472,22 @@ class TcpTransport(Transport):
             )
         await asyncio.sleep(self.retry.delay(attempt - 1, self._jitter_rng))
 
-    async def _connect(
+    async def _acquire(
         self, party: str
     ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
-        """Cached stream to a party, or a fresh connection (one attempt)."""
-        cached = self._streams.get(party)
-        if cached is not None:
-            return cached
+        """Check a pooled connection out, or dial a fresh one.
+
+        The connection is absent from the pool while checked out —
+        concurrent senders to the same peer each get their own socket
+        (up to ``RetryPolicy.pool_size`` are kept idle between sends).
+        """
+        pool = self._pools.get(party, [])
+        while pool:
+            reader, writer = pool.pop()
+            if writer.is_closing() or reader.at_eof():
+                writer.close()  # went stale while idle
+                continue
+            return reader, writer
         host, port = self.endpoint_of(party)
         try:
             reader, writer = await asyncio.wait_for(
@@ -383,13 +498,37 @@ class TcpTransport(Transport):
                 f"connect timed out after {self.retry.connect_timeout}s "
                 f"{self._where(party)}"
             ) from exc
-        self._streams[party] = (reader, writer)
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                TRANSPORT_CONNECTS_METRIC,
+                {"party": party},
+                help_text="TCP connections dialled by the transport",
+            ).inc()
         return reader, writer
 
-    def _drop_stream(self, party: str) -> None:
-        cached = self._streams.pop(party, None)
-        if cached is not None:
-            cached[1].close()
+    def _release(
+        self,
+        party: str,
+        connection: tuple[asyncio.StreamReader, asyncio.StreamWriter],
+    ) -> None:
+        """Return a healthy connection to the peer's pool (or close it)."""
+        reader, writer = connection
+        pool = self._pools.setdefault(party, [])
+        if (
+            self._closed
+            or writer.is_closing()
+            or reader.at_eof()
+            or len(pool) >= self.retry.pool_size
+        ):
+            writer.close()
+            return
+        pool.append(connection)
+
+    def _drop_pool(self, party: str) -> None:
+        """Close every idle connection to a peer."""
+        for _, writer in self._pools.pop(party, []):
+            writer.close()
 
     async def _await_ack(
         self,
@@ -436,29 +575,38 @@ class TcpTransport(Transport):
         for attempt in range(self.retry.attempts):
             await self._backoff(attempt, party, "deliver", deadline)
             try:
-                reader, writer = await self._connect(party)
+                reader, writer = await self._acquire(party)
             except (ConnectionError, OSError, NetworkError) as exc:
                 last_error = exc
                 continue
             try:
                 writer.write(frame)
                 await writer.drain()
-                return await self._await_ack(reader, party, sequence, deadline)
+                ack = await self._await_ack(reader, party, sequence, deadline)
+                self._release(party, (reader, writer))
+                return ack
+            except ServerBusy as exc:
+                # The endpoint answered, just refused the new session:
+                # the connection is healthy — keep it, back off, retry.
+                self._release(party, (reader, writer))
+                last_error = exc
             except asyncio.TimeoutError:
-                self._drop_stream(party)
+                writer.close()
                 last_error = NetworkError(
                     f"timed out after {self._io_timeout(party, deadline)}s "
                     f"waiting for an acknowledgement {self._where(party)}"
                 )
             except DeadlineExceeded:
-                self._drop_stream(party)
+                writer.close()
                 raise
             except (ConnectionError, OSError, NetworkError) as exc:
                 # The frame may have reached the peer, but request-id
                 # dedupe makes the resend idempotent: retry.
-                self._drop_stream(party)
+                writer.close()
                 last_error = exc
-        raise NetworkError(
+        error_type = ServerBusy if isinstance(last_error, ServerBusy) \
+            else NetworkError
+        raise error_type(
             f"cannot deliver message #{sequence} after "
             f"{self.retry.attempts} attempts {self._where(party)}: "
             f"{last_error}"
@@ -477,7 +625,11 @@ class TcpTransport(Transport):
         for attempt in range(self.retry.attempts):
             await self._backoff(attempt, party, "control", deadline)
             try:
-                reader, writer = await self._connect(party)
+                reader, writer = await self._acquire(party)
+            except (ConnectionError, OSError, NetworkError) as exc:
+                last_error = exc
+                continue
+            try:
                 await codec.write_frame(
                     writer, frame_type, codec.encode_value(body)
                 )
@@ -485,20 +637,36 @@ class TcpTransport(Transport):
                     reader, self._io_timeout(party, deadline)
                 )
             except asyncio.TimeoutError as exc:
-                self._drop_stream(party)
+                writer.close()
                 raise NetworkError(
                     f"timed out after {self._io_timeout(party, deadline)}s "
                     f"waiting for a control response {self._where(party)}"
                 ) from exc
             except DeadlineExceeded:
-                self._drop_stream(party)
+                writer.close()
                 raise
             except (ConnectionError, OSError, NetworkError) as exc:
-                self._drop_stream(party)
+                writer.close()
                 last_error = exc
                 continue
-            return self._control_payload(party, response_type, payload, expect)
-        raise NetworkError(
+            try:
+                value = self._control_payload(
+                    party, response_type, payload, expect
+                )
+            except ServerBusy as exc:
+                # Capacity refusal, healthy connection: keep it, retry.
+                self._release(party, (reader, writer))
+                last_error = exc
+                continue
+            except NetworkError:
+                # An ERROR answer arrives on a healthy connection.
+                self._release(party, (reader, writer))
+                raise
+            self._release(party, (reader, writer))
+            return value
+        error_type = ServerBusy if isinstance(last_error, ServerBusy) \
+            else NetworkError
+        raise error_type(
             f"cannot complete control request after "
             f"{self.retry.attempts} attempts {self._where(party)}: "
             f"{last_error}"
@@ -508,6 +676,13 @@ class TcpTransport(Transport):
         self, party: str, frame_type: int, payload: bytes, expect: int
     ) -> Any:
         value = codec.decode_value(payload)
+        if frame_type == codec.BUSY:
+            sessions = value.get("sessions") if isinstance(value, dict) else "?"
+            limit = value.get("max_sessions") if isinstance(value, dict) else "?"
+            raise ServerBusy(
+                f"endpoint refused a new session: {sessions}/{limit} "
+                f"sessions live {self._where(party)}"
+            )
         if frame_type == codec.ERROR:
             detail = value.get("error") if isinstance(value, dict) else value
             raise NetworkError(

@@ -59,6 +59,19 @@ class TestMatching:
         assert rule.matches("mediator", "S2", "k")
         assert not rule.matches("mediator", "S1", "k")
 
+    def test_session_matcher(self):
+        rule = FaultRule(action="drop", session="sess-a")
+        assert rule.matches("a", "b", "k", session="sess-a")
+        assert not rule.matches("a", "b", "k", session="sess-b")
+        # Legacy session-less traffic never matches a sessioned rule.
+        assert not rule.matches("a", "b", "k", session=None)
+        assert not rule.matches("a", "b", "k")
+
+    def test_session_none_is_session_blind(self):
+        rule = FaultRule(action="drop")
+        assert rule.matches("a", "b", "k", session="sess-a")
+        assert rule.matches("a", "b", "k", session=None)
+
 
 class TestPlanSerialization:
     def test_json_roundtrip(self):
@@ -66,6 +79,7 @@ class TestPlanSerialization:
             FaultRule(action="crash", party="S2", occurrence=2),
             FaultRule(action="delay", delay_seconds=0.5, probability=0.25,
                       max_triggers=0),
+            FaultRule(action="drop", session="sess-a"),
         ))
         assert FaultPlan.from_json(plan.to_json()) == plan
 
@@ -174,3 +188,27 @@ class TestInjector:
         assert not any(
             "time" in field for field in FaultEvent.__dataclass_fields__
         )
+
+
+class TestSessionAttribution:
+    """Session-scoped rules and the deterministic-log session field."""
+
+    def test_observe_filters_on_session(self):
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule(action="drop", session="sess-a", max_triggers=0),
+        )))
+        assert injector.observe("transport", "a", "b", "k", session="sess-b") == []
+        assert injector.observe("transport", "a", "b", "k") == []
+        fired = injector.observe("transport", "a", "b", "k", session="sess-a")
+        assert [rule.action for rule in fired] == ["drop"]
+        assert injector.events[-1].session == "sess-a"
+        assert "session=sess-a" in injector.events[-1].summary()
+
+    def test_session_blind_rule_logs_empty_session(self):
+        # The event records the RULE's matcher, never the observed id:
+        # session ids are random per run, and the fault log must stay
+        # byte-identical across same-plan runs.
+        injector = FaultInjector(FaultPlan(rules=(FaultRule(action="drop"),)))
+        injector.observe("transport", "a", "b", "k", session="sess-random")
+        assert injector.events[-1].session == ""
+        assert "session=" not in injector.events[-1].summary()

@@ -65,6 +65,7 @@ def run_on(ca, client, rows_1, rows_2, protocol, config):
             message.body,
             None,  # no trace context attached outside a traced run
             None,  # no request id attached outside the TCP transport
+            None,  # no session id attached outside a session scope
         )
     return result
 

@@ -57,7 +57,7 @@ class TestEnvelopeTraceContext:
     def test_untraced_envelope_keeps_legacy_wire_shape(self):
         encoded = codec.encode_envelope(1, "a", "b", "kind", {"x": 1})
         assert codec.decode_envelope(encoded) == (
-            1, "a", "b", "kind", {"x": 1}, None, None,
+            1, "a", "b", "kind", {"x": 1}, None, None, None,
         )
         # Byte-identical to a hand-built 5-tuple: old peers interoperate.
         assert encoded == codec.encode_value((1, "a", "b", "kind", {"x": 1}))

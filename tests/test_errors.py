@@ -63,6 +63,7 @@ class TestHierarchy:
             (errors.AccessDenied, errors.MediationError),
             (errors.CredentialError, errors.MediationError),
             (errors.NetworkError, errors.MediationError),
+            (errors.ServerBusy, errors.NetworkError),
             (errors.DeadlineExceeded, errors.NetworkError),
             (errors.FaultInjectedError, errors.NetworkError),
             (errors.ProtocolError, errors.MediationError),
@@ -108,6 +109,19 @@ def _trigger_fault_injected():
     transport.send("a", "b", "kind", None)
 
 
+def _trigger_server_busy():
+    transport = TcpTransport(
+        retry=RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02),
+        server_options={"max_sessions": 1},
+    )
+    try:
+        transport.register("a")
+        transport.open_session("first")   # fills the only session slot
+        transport.open_session("second")  # refused: BUSY -> ServerBusy
+    finally:
+        transport.close()
+
+
 def _trigger_integrity_error():
     key = symmetric.generate_key()
     ciphertext = bytearray(symmetric.encrypt(key, b"payload"))
@@ -136,6 +150,7 @@ TRIGGERS = {
     ),
     errors.CredentialError: lambda: DataSource(name="S1").private_key(),
     errors.NetworkError: lambda: Network().send("ghost", "b", "kind", None),
+    errors.ServerBusy: _trigger_server_busy,
     errors.DeadlineExceeded: _trigger_deadline_exceeded,
     errors.FaultInjectedError: _trigger_fault_injected,
     errors.ProtocolError: lambda: FaultRule(action="explode"),

@@ -184,7 +184,7 @@ class TestEnvelopeAndFraming:
     def test_envelope_roundtrip(self):
         payload = codec.encode_envelope(3, "S1", "mediator", "kind", {"a": 1})
         assert codec.decode_envelope(payload) == (
-            3, "S1", "mediator", "kind", {"a": 1}, None, None,
+            3, "S1", "mediator", "kind", {"a": 1}, None, None, None,
         )
 
     def test_envelope_roundtrip_with_request_id(self):
@@ -192,8 +192,34 @@ class TestEnvelopeAndFraming:
             7, "S1", "mediator", "kind", {"a": 1}, request_id="abcd:7"
         )
         assert codec.decode_envelope(payload) == (
-            7, "S1", "mediator", "kind", {"a": 1}, None, "abcd:7",
+            7, "S1", "mediator", "kind", {"a": 1}, None, "abcd:7", None,
         )
+
+    def test_envelope_roundtrip_with_session_id(self):
+        payload = codec.encode_envelope(
+            9, "S1", "mediator", "kind", {"a": 1},
+            request_id="abcd:9", session_id="feedc0de00000001",
+        )
+        assert codec.decode_envelope(payload) == (
+            9, "S1", "mediator", "kind", {"a": 1},
+            None, "abcd:9", "feedc0de00000001",
+        )
+
+    def test_session_only_envelope_roundtrip(self):
+        payload = codec.encode_envelope(
+            2, "S1", "mediator", "kind", None, session_id="cafe"
+        )
+        assert codec.decode_envelope(payload) == (
+            2, "S1", "mediator", "kind", None, None, None, "cafe",
+        )
+
+    def test_malformed_session_id_rejected(self):
+        bad = codec.encode_value((1, "a", "b", "k", None, None, None, 7))
+        with pytest.raises(EncodingError, match="session"):
+            codec.decode_envelope(bad)
+        empty = codec.encode_value((1, "a", "b", "k", None, None, None, ""))
+        with pytest.raises(EncodingError, match="session"):
+            codec.decode_envelope(empty)
 
     def test_malformed_envelope_rejected(self):
         with pytest.raises(EncodingError, match="envelope"):

@@ -89,7 +89,7 @@ class TestCorruption:
             envelope = codec.decode_envelope(bytes(corrupted))
         except CodecError:
             return
-        assert isinstance(envelope, tuple) and len(envelope) == 7
+        assert isinstance(envelope, tuple) and len(envelope) == 8
         sequence, sender, receiver, kind = envelope[:4]
         assert isinstance(sequence, int)
         assert all(isinstance(part, str) for part in (sender, receiver, kind))
