@@ -9,8 +9,15 @@ It finishes by demonstrating *why* the paper's client setting matters:
 in the insecure mediator-setting DAS baseline the very same scan finds
 the partition contents (join-attribute values) in the mediator's view.
 
-Run:  python examples/leakage_audit.py
+Run:  python examples/leakage_audit.py [--storage memory|sqlite:PATH]
+
+``--storage`` runs the same audit over a storage-backed data plane:
+the leakage guarantees must hold unchanged, because the cache stores
+only the ciphertext artifacts the mediator would see anyway
+(docs/storage.md discusses what the store itself learns at rest).
 """
+
+import argparse
 
 from repro import (
     CertificationAuthority,
@@ -31,11 +38,14 @@ from repro.analysis import (
 from repro.mediation.access_control import allow_all
 from repro.mediation.client import default_homomorphic_scheme
 from repro.relational.datagen import medical_workload
+from repro.storage import StorageBackend, storage_from_spec
 
 
-def build_federation(workload) -> Federation:
+def build_federation(
+    workload, storage: StorageBackend | None = None
+) -> Federation:
     ca = CertificationAuthority(key_bits=1024)
-    federation = Federation(ca=ca)
+    federation = Federation(ca=ca, storage=storage)
     federation.add_source("clinic", [(workload.relation_1, allow_all())])
     federation.add_source("lab", [(workload.relation_2, allow_all())])
     federation.attach_client(
@@ -51,13 +61,25 @@ def build_federation(workload) -> Federation:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--storage",
+        default=None,
+        metavar="SPEC",
+        help="storage backend: 'memory' or 'sqlite:PATH'",
+    )
+    args = parser.parse_args()
+    storage = storage_from_spec(args.storage)
+
     workload = medical_workload()
     query = "select * from clinic natural join lab"
     relations = [workload.relation_1, workload.relation_2]
 
     reports, profiles = [], []
     for protocol in ("das", "commutative", "private-matching"):
-        result = run_join_query(build_federation(workload), query, protocol=protocol)
+        result = run_join_query(
+            build_federation(workload, storage), query, protocol=protocol
+        )
         reports.append(analyze(result))
         profiles.append(primitive_profile(result))
         flow = check_flow(result)
@@ -76,7 +98,7 @@ def main() -> None:
     # The cautionary tale: the mediator-setting DAS baseline.
     print("\n--- insecure baseline: DAS with the translator at the mediator ---")
     result = run_join_query(
-        build_federation(workload),
+        build_federation(workload, storage),
         query,
         protocol="das",
         config=DASConfig(setting="mediator"),
@@ -94,6 +116,8 @@ def main() -> None:
         "\n=> exactly the paper's warning: 'it is crucial to encrypt the "
         "index table and let the query translator reside on client side'"
     )
+    if storage is not None:
+        storage.close()
 
 
 if __name__ == "__main__":

@@ -7,18 +7,25 @@ client-decrypted) result is re-hosted behind a delegate datasource — the
 lower mediator acting as a datasource for the upper mediator — and
 joined with the third relation.
 
-Run:  python examples/mediator_hierarchy.py
+Run:  python examples/mediator_hierarchy.py [--storage memory|sqlite:PATH]
+
+With ``--storage`` every source — including the delegate datasource the
+hierarchy creates for the intermediate result — keeps its rows and
+encrypted-index caches in the backend.
 """
+
+import argparse
 
 from repro import CertificationAuthority, Federation, setup_client
 from repro.core.hierarchy import run_successive_joins
 from repro.mediation.access_control import allow_all
 from repro.relational import relation, schema
+from repro.storage import StorageBackend, storage_from_spec
 
 
-def build_federation() -> Federation:
+def build_federation(storage: StorageBackend | None = None) -> Federation:
     ca = CertificationAuthority(key_bits=1024)
-    federation = Federation(ca=ca)
+    federation = Federation(ca=ca, storage=storage)
 
     suppliers = relation(
         schema("suppliers", consignment="string", supplier="string"),
@@ -54,11 +61,27 @@ def build_federation() -> Federation:
 
 
 def main() -> None:
-    federation = build_federation()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--storage",
+        default=None,
+        metavar="SPEC",
+        help="storage backend: 'memory' or 'sqlite:PATH'",
+    )
+    args = parser.parse_args()
+    storage = storage_from_spec(args.storage)
+
+    federation = build_federation(storage)
     query = (
         "select * from suppliers natural join shipments natural join customs"
     )
-    outcome = run_successive_joins(federation, query, protocol="commutative")
+    try:
+        outcome = run_successive_joins(federation, query, protocol="commutative")
+    finally:
+        if storage is not None:
+            storage.close()
+    if storage is not None:
+        print(f"storage backend: {storage.describe()}")
     print(f"query: {query}")
     print(f"stages: {len(outcome.stages)}")
     for index, stage in enumerate(outcome.stages, start=1):

@@ -16,13 +16,22 @@ The mediator computes both joins over ciphertexts; neither the partial
 results nor the global result are ever visible to it — yet access
 control still filtered each client's view at the sources.
 
-Run:  python examples/medical_consortium.py
+Run:  python examples/medical_consortium.py [--storage memory|sqlite:PATH]
+
+With ``--storage`` the sources keep their rows and encrypted-index
+caches in a backend (docs/storage.md).  Cache entries are keyed by the
+*filtered* partial result and the recipient's credentials, so the
+researcher and the auditor never share cache entries — access control
+composes with amortization.
 """
+
+import argparse
 
 from repro import CertificationAuthority, Federation, run_join_query, setup_client
 from repro.mediation.access_control import AccessPolicy, AccessRule
 from repro.relational import relation, schema
 from repro.relational.conditions import Comparison
+from repro.storage import StorageBackend, storage_from_spec
 
 
 def build_data():
@@ -77,9 +86,11 @@ def build_policies():
     return clinic_policy, insurance_policy
 
 
-def build_federation(role: str) -> Federation:
+def build_federation(
+    role: str, storage: StorageBackend | None = None
+) -> Federation:
     ca = CertificationAuthority(key_bits=1024)
-    federation = Federation(ca=ca)
+    federation = Federation(ca=ca, storage=storage)
     clinic, insurance = build_data()
     clinic_policy, insurance_policy = build_policies()
     federation.add_source("clinic", [(clinic, clinic_policy)])
@@ -91,18 +102,39 @@ def build_federation(role: str) -> Federation:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--storage",
+        default=None,
+        metavar="SPEC",
+        help="storage backend: 'memory' or 'sqlite:PATH'",
+    )
+    args = parser.parse_args()
+    storage = storage_from_spec(args.storage)
+
     query = "select * from clinic natural join insurance"
-    for role in ("researcher", "auditor"):
-        federation = build_federation(role)
-        result = run_join_query(federation, query, protocol="commutative")
-        print("=" * 72)
-        print(f"client role: {role}")
-        print(result.global_result.pretty())
-        print(
-            f"(mediator matched {result.artifacts['intersection_size']} join "
-            f"values without seeing any of them)"
-        )
-        print()
+    try:
+        for role in ("researcher", "auditor"):
+            federation = build_federation(role, storage)
+            result = run_join_query(federation, query, protocol="commutative")
+            print("=" * 72)
+            print(f"client role: {role}")
+            print(result.global_result.pretty())
+            print(
+                f"(mediator matched {result.artifacts['intersection_size']} "
+                f"join values without seeing any of them)"
+            )
+            stats = result.artifacts.get("storage_cache")
+            if stats is not None:
+                print(
+                    f"storage cache [{stats['backend']}]: "
+                    f"hits={stats['hits']} misses={stats['misses']} "
+                    f"puts={stats['puts']} errors={stats['errors']}"
+                )
+            print()
+    finally:
+        if storage is not None:
+            storage.close()
 
 
 if __name__ == "__main__":

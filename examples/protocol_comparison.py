@@ -8,9 +8,15 @@ behind the paper's qualitative ranking ("the commutative approach seems
 to be the most efficient one").
 
 Run:  python examples/protocol_comparison.py [domain_size]
+
+Pass ``--storage memory`` or ``--storage sqlite:PATH`` to run the same
+comparison over a storage-backed data plane (docs/storage.md); with a
+persistent SQLite store, a second invocation measures the *warm-cache*
+costs — crypto-op counts drop where the encrypted-index cache serves
+the artifacts the first invocation computed.
 """
 
-import sys
+import argparse
 
 from repro import (
     CertificationAuthority,
@@ -24,10 +30,21 @@ from repro.analysis import compare, render
 from repro.mediation.access_control import allow_all
 from repro.mediation.client import default_homomorphic_scheme
 from repro.relational.datagen import WorkloadSpec, generate
+from repro.storage import storage_from_spec
 
 
 def main() -> None:
-    domain = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("domain", nargs="?", type=int, default=12)
+    parser.add_argument(
+        "--storage",
+        default=None,
+        metavar="SPEC",
+        help="storage backend: 'memory' or 'sqlite:PATH'",
+    )
+    args = parser.parse_args()
+    domain = args.domain
+    storage = storage_from_spec(args.storage)
     workload = generate(
         WorkloadSpec(
             domain_1=domain,
@@ -42,7 +59,7 @@ def main() -> None:
 
     def federation_factory() -> Federation:
         ca = CertificationAuthority(key_bits=1024)
-        federation = Federation(ca=ca)
+        federation = Federation(ca=ca, storage=storage)
         federation.add_source("S1", [(workload.relation_1, allow_all())])
         federation.add_source("S2", [(workload.relation_2, allow_all())])
         federation.attach_client(
@@ -69,8 +86,16 @@ def main() -> None:
         f"|R1|={len(workload.relation_1)}, |R2|={len(workload.relation_2)}, "
         f"expected join={workload.expected_join_size}\n"
     )
-    rows = compare(federation_factory, "select * from R1 natural join R2", protocols)
+    try:
+        rows = compare(
+            federation_factory, "select * from R1 natural join R2", protocols
+        )
+    finally:
+        if storage is not None:
+            storage.close()
     print(render(rows))
+    if storage is not None:
+        print(f"storage backend: {storage.describe()}")
     print(
         "\nSection 6 shape checks:\n"
         f"  client interacts twice in DAS:       "

@@ -9,14 +9,21 @@ the same data and contrasts:
 * the traffic cost of routing everything through the mediator,
 * how the transcripts differ under LAN vs satellite network models.
 
-Run:  python examples/two_party_vs_mediated.py
+Run:  python examples/two_party_vs_mediated.py [--storage memory|sqlite:PATH]
+
+``--storage`` applies to the mediated run only: the two-party baseline
+predates the storage engine and always computes from memory — which is
+itself part of the contrast.
 """
+
+import argparse
 
 from repro import CertificationAuthority, Federation, run_join_query, setup_client
 from repro.baselines import two_party_equijoin
 from repro.mediation.access_control import allow_all
 from repro.mediation.costmodel import LAN, WAN
 from repro.relational import relation, schema
+from repro.storage import storage_from_spec
 
 
 def build_data():
@@ -41,6 +48,16 @@ def build_data():
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--storage",
+        default=None,
+        metavar="SPEC",
+        help="storage backend for the mediated run: 'memory' or 'sqlite:PATH'",
+    )
+    args = parser.parse_args()
+    storage = storage_from_spec(args.storage)
+
     suppliers, orders = build_data()
 
     # --- Two-party baseline: the supplier registry acts as receiver and
@@ -56,16 +73,20 @@ def main() -> None:
     # --- Mediated version: same join, but neither source learns the
     # other's parts; the untrusted mediator matches blindly.
     ca = CertificationAuthority(key_bits=1024)
-    federation = Federation(ca=ca)
+    federation = Federation(ca=ca, storage=storage)
     federation.add_source("registry", [(suppliers, allow_all())])
     federation.add_source("purchasing", [(orders, allow_all())])
     federation.attach_client(
         setup_client(ca, "auditor", {("role", "auditor")}, rsa_bits=1024)
     )
-    mediated = run_join_query(
-        federation, "select * from suppliers natural join orders",
-        protocol="commutative",
-    )
+    try:
+        mediated = run_join_query(
+            federation, "select * from suppliers natural join orders",
+            protocol="commutative",
+        )
+    finally:
+        if storage is not None:
+            storage.close()
     print("== mediated commutative protocol ==")
     print(mediated.global_result.pretty())
     print(f"traffic: {mediated.total_bytes()} bytes over "

@@ -45,8 +45,10 @@ from repro.faults import FaultInjector, FaultPlan, FaultyTransport
 from repro.mediation.access_control import allow_all
 from repro.mediation.network import Network
 from repro.mediation.client import default_homomorphic_scheme
+from repro.errors import StorageError
 from repro.relational import csvio
 from repro.relational.datagen import WorkloadSpec, Workload, generate
+from repro.storage import FaultyStorage, StorageBackend, storage_from_spec
 from repro.telemetry import (
     MetricsRegistry,
     Tracer,
@@ -76,12 +78,13 @@ def _build_federation(
     rsa_bits: int,
     paillier_bits: int,
     network: Transport | None = None,
+    storage: StorageBackend | None = None,
 ) -> Federation:
     ca = CertificationAuthority(key_bits=rsa_bits)
     if network is not None:
-        federation = Federation(ca=ca, network=network)
+        federation = Federation(ca=ca, network=network, storage=storage)
     else:
-        federation = Federation(ca=ca)
+        federation = Federation(ca=ca, storage=storage)
     federation.add_source("S1", [(relation_1, allow_all())])
     federation.add_source("S2", [(relation_2, allow_all())])
     federation.attach_client(
@@ -126,6 +129,44 @@ def _add_crypto_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch-threshold", type=int, default=None,
         help="minimum batch size before crypto work fans out to the pool",
+    )
+
+
+def _add_storage_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--storage", default=None, metavar="SPEC",
+        help="persistent storage backend: 'memory' (per-process index "
+             "cache) or 'sqlite:PATH' (relations and encrypted index "
+             "caches survive across invocations); default: none",
+    )
+
+
+def _open_storage(args, injector=None) -> StorageBackend | None:
+    """``--storage`` spec -> opened backend (fail fast on a bad spec).
+
+    With an active fault plan the backend is wrapped in
+    :class:`~repro.storage.FaultyStorage` so plans with ``site:
+    "storage"`` rules reach it.
+    """
+    spec = getattr(args, "storage", None)
+    try:
+        backend = storage_from_spec(spec)
+    except StorageError as exc:
+        raise SystemExit(f"invalid --storage {spec!r}: {exc}")
+    if backend is not None and injector is not None:
+        backend = FaultyStorage(backend, injector)
+    return backend
+
+
+def _print_storage_stats(result) -> None:
+    """One greppable line of cache statistics (CI's chaos step reads it)."""
+    stats = result.artifacts.get("storage_cache")
+    if not stats:
+        return
+    print(
+        f"storage cache [{stats['backend']}]: hits={stats['hits']} "
+        f"misses={stats['misses']} puts={stats['puts']} "
+        f"errors={stats['errors']}"
     )
 
 
@@ -184,16 +225,23 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _command_demo(args) -> int:
     workload = _workload_from_args(args)
-    federation = _build_federation(
-        workload.relation_1, workload.relation_2, args.rsa_bits,
-        args.paillier_bits,
-    )
-    result = run_join_query(
-        federation, "select * from R1 natural join R2", protocol=args.protocol
-    )
-    print(result.global_result.pretty())
-    print()
-    print(result.summary())
+    storage = _open_storage(args)
+    try:
+        federation = _build_federation(
+            workload.relation_1, workload.relation_2, args.rsa_bits,
+            args.paillier_bits, storage=storage,
+        )
+        result = run_join_query(
+            federation, "select * from R1 natural join R2",
+            protocol=args.protocol,
+        )
+        print(result.global_result.pretty())
+        print()
+        print(result.summary())
+        _print_storage_stats(result)
+    finally:
+        if storage is not None:
+            storage.close()
     return 0
 
 
@@ -288,10 +336,11 @@ def _command_query(args) -> int:
         # A fault plan needs a carrier to wrap — over the bus that means
         # constructing the (otherwise implicit) Network explicitly.
         network = FaultyTransport(transport or Network(), injector)
+    storage = _open_storage(args, injector)
     try:
         federation = _build_federation(
             relation_1, relation_2, args.rsa_bits, args.paillier_bits,
-            network=network,
+            network=network, storage=storage,
         )
         sql = args.sql or (
             f"select * from {args.name1} natural join {args.name2}"
@@ -317,6 +366,7 @@ def _command_query(args) -> int:
             print(f"{len(result.global_result)} rows written to {args.output}")
         else:
             print(result.global_result.pretty())
+        _print_storage_stats(result)
         if transport is not None:
             print(
                 f"\n{len(federation.network.transcript)} messages, "
@@ -338,6 +388,8 @@ def _command_query(args) -> int:
                 text = injector.event_log_text()
                 handle.write(text + "\n" if text else "")
             print(f"fault log written to {args.fault_log}", file=sys.stderr)
+        if storage is not None:
+            storage.close()
         if network is not None:
             network.close()
     return 0
@@ -348,6 +400,13 @@ def _command_serve(args) -> int:
     port = args.port if args.port is not None else DEFAULT_PORTS.get(party, 0)
     configure_logging(args.log_level or "info")
     log = party_logger(party)
+    # Open (and thereby validate) the backend before the endpoint binds:
+    # a bad spec or unwritable path fails fast instead of surfacing as
+    # query-time errors.  The SQLite file is created here, so restarted
+    # endpoints find their store provisioned.
+    storage = _open_storage(args)
+    if storage is not None:
+        log.info("storage backend ready: %s", storage.describe())
     server = PartyServer(
         party,
         host=args.host,
@@ -371,6 +430,9 @@ def _command_serve(args) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         log.info("%d messages received, bye", len(server.records))
+    finally:
+        if storage is not None:
+            storage.close()
     return 0
 
 
@@ -390,6 +452,7 @@ def _command_loadgen(args) -> int:
         seed=args.seed,
         rsa_bits=args.rsa_bits,
         paillier_bits=args.paillier_bits,
+        storage_spec=args.storage,
     )
     endpoints = _parse_endpoints(args.endpoint) if args.remote else None
     report = run_load(config, endpoints=endpoints)
@@ -469,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(demo)
     _add_crypto_arguments(demo)
+    _add_storage_arguments(demo)
     _add_telemetry_arguments(demo)
     demo.set_defaults(handler=_command_demo)
 
@@ -534,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="overall run deadline, propagated into every transport wait",
     )
     _add_crypto_arguments(query)
+    _add_storage_arguments(query)
     _add_telemetry_arguments(query)
     query.set_defaults(handler=_command_query)
 
@@ -558,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("debug", "info", "warning", "error"),
         help="endpoint log verbosity (default: info)",
     )
+    _add_storage_arguments(serve)
     serve.set_defaults(handler=_command_serve)
 
     loadgen = commands.add_parser(
@@ -605,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(loadgen)
     _add_crypto_arguments(loadgen)
+    _add_storage_arguments(loadgen)
     _add_telemetry_arguments(loadgen)
     loadgen.set_defaults(handler=_command_loadgen)
 

@@ -29,6 +29,7 @@ that optimization (benchmark A3 measures the traffic it saves).
 
 from __future__ import annotations
 
+import hashlib
 import random
 import secrets
 from dataclasses import dataclass
@@ -50,10 +51,23 @@ from repro.crypto import groups, hybrid
 from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.hashes import IdealHash
 from repro.crypto.instrumentation import count_primitives
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, StorageError
 from repro.mediation.credentials import public_keys_of
 from repro.relational.encoding import decode_rows, encode_rows
 from repro.relational.relation import Relation
+from repro.storage.base import (
+    KIND_COMM_DOUBLE,
+    KIND_COMM_KEY,
+    KIND_COMM_TAG,
+    KIND_COMM_TUPLES,
+    IndexCache,
+)
+from repro.storage.serialize import (
+    deserialize_hybrid,
+    deserialize_int,
+    serialize_hybrid,
+    serialize_int,
+)
 
 _ID_BYTES = 8
 
@@ -92,6 +106,49 @@ class _SourceState:
     tuple_ciphertexts: dict[JoinKey, hybrid.HybridCiphertext]
 
 
+def _key_digest(key: comm.CommutativeKey) -> bytes:
+    """Short binding digest of a commutative key (group + exponent).
+
+    Cached tags and double-encryptions embed this digest in their cache
+    keys, so entries computed under one key can never be served for
+    another — a replaced key simply misses instead of mismatching.
+    """
+    return hashlib.sha256(
+        serialize_int(key.group.p) + b"/" + serialize_int(key.exponent)
+    ).digest()[:12]
+
+
+def _recipient_digest(client_keys) -> bytes:
+    fingerprints = sorted(hybrid.key_fingerprint(key) for key in client_keys)
+    return hashlib.sha256(b"".join(fingerprints)).digest()[:16]
+
+
+def _cached_key(
+    cache: IndexCache | None,
+    relation_name: str,
+    group: comm.CommutativeGroup,
+) -> comm.CommutativeKey:
+    """The source's commutative key — persisted across the query series.
+
+    The RFC 3526 groups are deterministic per bit size, so a persisted
+    exponent stays valid across processes; the key lives under the
+    current epoch and :meth:`DataSource.rotate_keys` retires it.
+    """
+    if cache is None:
+        return comm.generate_key(group)
+    slot = b"key:" + serialize_int(group.p)[:16]
+    blob = cache.get(relation_name, KIND_COMM_KEY, slot)
+    if blob is not None:
+        try:
+            return comm.CommutativeKey(group, deserialize_int(blob))
+        except Exception:
+            # Corrupt or out-of-range: fall through to a fresh key.
+            cache.decode_failure(KIND_COMM_KEY)
+    key = comm.generate_key(group)
+    cache.put(relation_name, KIND_COMM_KEY, slot, serialize_int(key.exponent))
+    return key
+
+
 def _prepare_source(
     relation: Relation,
     join_attributes: tuple[str, ...],
@@ -100,21 +157,95 @@ def _prepare_source(
     client_keys,
     config: CommutativeConfig,
     engine: CryptoEngine | None = None,
+    cache: IndexCache | None = None,
 ) -> tuple[_SourceState, list[TaggedMessage]]:
-    """Listing 3 steps 1-3 at one datasource."""
+    """Listing 3 steps 1-3 at one datasource.
+
+    With an index cache, the key, the per-value tags ``f_e(h(a))`` and
+    the hybrid tuple-set ciphertexts all persist across the query series
+    (amortization per arXiv 2103.05792); only values not seen before —
+    or entries dropped by a mutation/rotation — are recomputed, as one
+    engine batch.
+    """
     engine = engine or get_engine()
     if config.verify_group and not group.verify():
         raise ProtocolError("announced commutative group failed verification")
-    key = comm.generate_key(group)
+    key = _cached_key(cache, relation.name, group)
+    key_digest = _key_digest(key) if cache is not None else b""
+    recipients = _recipient_digest(client_keys) if cache is not None else b""
     grouped = group_by_key(relation, join_attributes)
     join_keys = list(grouped)
-    # One batch per round: hash every active join value into QR_p, tag
-    # them under the source key, and hybrid-encrypt every tuple set.
-    hashed = [ideal_hash(encode_key(join_key)) for join_key in join_keys]
-    tags = engine.batch_commutative_encrypt(key, hashed)
-    ciphertexts = engine.batch_hybrid_encrypt(
-        client_keys, [encode_rows(grouped[join_key]) for join_key in join_keys]
-    )
+
+    # Tags: serve cache hits, batch-compute the misses under the key.
+    tags: list[int | None] = [None] * len(join_keys)
+    pending_tags: list[int] = []
+    if cache is not None:
+        for position, join_key in enumerate(join_keys):
+            blob = cache.get(
+                relation.name,
+                KIND_COMM_TAG,
+                b"tag:" + key_digest + encode_key(join_key),
+            )
+            if blob is not None:
+                try:
+                    tags[position] = deserialize_int(blob)
+                    continue
+                except StorageError:
+                    cache.decode_failure(KIND_COMM_TAG)
+            pending_tags.append(position)
+    else:
+        pending_tags = list(range(len(join_keys)))
+    if pending_tags:
+        hashed = [
+            ideal_hash(encode_key(join_keys[position]))
+            for position in pending_tags
+        ]
+        fresh_tags = engine.batch_commutative_encrypt(key, hashed)
+        for position, tag in zip(pending_tags, fresh_tags):
+            tags[position] = tag
+            if cache is not None:
+                cache.put(
+                    relation.name,
+                    KIND_COMM_TAG,
+                    b"tag:" + key_digest + encode_key(join_keys[position]),
+                    serialize_int(tag),
+                )
+
+    # Tuple-set ciphertexts: keyed by recipient set + plaintext content.
+    encoded_sets = [encode_rows(grouped[join_key]) for join_key in join_keys]
+    ciphertexts: list[hybrid.HybridCiphertext | None] = [None] * len(join_keys)
+    pending_sets: list[int] = []
+    if cache is not None:
+        set_slots = [
+            b"tupct:" + recipients + encode_key(join_key)
+            + hashlib.sha256(encoded).digest()[:16]
+            for join_key, encoded in zip(join_keys, encoded_sets)
+        ]
+        for position, slot in enumerate(set_slots):
+            blob = cache.get(relation.name, KIND_COMM_TUPLES, slot)
+            if blob is not None:
+                try:
+                    ciphertexts[position] = deserialize_hybrid(blob)
+                    continue
+                except StorageError:
+                    cache.decode_failure(KIND_COMM_TUPLES)
+            pending_sets.append(position)
+    else:
+        pending_sets = list(range(len(join_keys)))
+    if pending_sets:
+        fresh = engine.batch_hybrid_encrypt(
+            client_keys, [encoded_sets[position] for position in pending_sets]
+        )
+        for position, ciphertext in zip(pending_sets, fresh):
+            ciphertexts[position] = ciphertext
+            if cache is not None:
+                cache.put(
+                    relation.name,
+                    KIND_COMM_TUPLES,
+                    set_slots[position],
+                    serialize_hybrid(ciphertext),
+                )
+
     tuple_ciphertexts = dict(zip(join_keys, ciphertexts))
     messages = [
         TaggedMessage(tag=tag, payload=ciphertext)
@@ -127,14 +258,52 @@ def _double_encrypt(
     messages: list[TaggedMessage],
     key: comm.CommutativeKey,
     engine: CryptoEngine | None = None,
+    cache: IndexCache | None = None,
+    relation_name: str = "",
 ) -> list[TaggedMessage]:
-    """Listing 3 steps 5/6 at one datasource: apply the own key on top."""
+    """Listing 3 steps 5/6 at one datasource: apply the own key on top.
+
+    Double-encryptions cache by (own key, incoming tag): when both
+    sources reuse persisted keys, the opposite tags repeat across the
+    series and this step becomes pure lookups.
+    """
     engine = engine or get_engine()
-    tags = engine.batch_commutative_encrypt(key, [m.tag for m in messages])
+    key_digest = _key_digest(key) if cache is not None else b""
+    doubled: list[int | None] = [None] * len(messages)
+    pending: list[int] = []
+    if cache is not None:
+        for position, message in enumerate(messages):
+            blob = cache.get(
+                relation_name,
+                KIND_COMM_DOUBLE,
+                b"double:" + key_digest + serialize_int(message.tag),
+            )
+            if blob is not None:
+                try:
+                    doubled[position] = deserialize_int(blob)
+                    continue
+                except StorageError:
+                    cache.decode_failure(KIND_COMM_DOUBLE)
+            pending.append(position)
+    else:
+        pending = list(range(len(messages)))
+    if pending:
+        fresh = engine.batch_commutative_encrypt(
+            key, [messages[position].tag for position in pending]
+        )
+        for position, tag in zip(pending, fresh):
+            doubled[position] = tag
+            if cache is not None:
+                cache.put(
+                    relation_name,
+                    KIND_COMM_DOUBLE,
+                    b"double:" + key_digest + serialize_int(messages[position].tag),
+                    serialize_int(tag),
+                )
     return _shuffled(
         [
             TaggedMessage(tag=tag, payload=message.payload)
-            for tag, message in zip(tags, messages)
+            for tag, message in zip(doubled, messages)
         ]
     )
 
@@ -197,6 +366,7 @@ def run_commutative_delivery(
                     client_keys,
                     config,
                     engine,
+                    cache=federation.source(source_name).index_cache(),
                 )
             states[source_name] = state
             message_sets[source_name] = messages
@@ -226,12 +396,20 @@ def run_commutative_delivery(
         # Steps 5-6: sources double-encrypt and return.
         with timed(result, source_1, "double_encrypt"):
             response_1 = _double_encrypt(
-                forwarded_to_1, states[source_1].key, engine
+                forwarded_to_1,
+                states[source_1].key,
+                engine,
+                cache=federation.source(source_1).index_cache(),
+                relation_name=relation_1.name,
             )
         network.send(source_1, mediator_name, "commutative_double", response_1)
         with timed(result, source_2, "double_encrypt"):
             response_2 = _double_encrypt(
-                forwarded_to_2, states[source_2].key, engine
+                forwarded_to_2,
+                states[source_2].key,
+                engine,
+                cache=federation.source(source_2).index_cache(),
+                relation_name=relation_2.name,
             )
         network.send(source_2, mediator_name, "commutative_double", response_2)
 

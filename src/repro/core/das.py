@@ -34,6 +34,7 @@ three are implemented:
 
 from __future__ import annotations
 
+import hashlib
 import secrets
 from dataclasses import dataclass, field
 
@@ -44,7 +45,7 @@ from repro.core.timing import timed
 from repro.crypto import hybrid
 from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.instrumentation import count_primitives
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, StorageError
 from repro.mediation.credentials import public_keys_of
 from repro.relational import partition as partitioning
 from repro.relational.conditions import (
@@ -58,6 +59,18 @@ from repro.relational.encoding import decode_row, encode_row
 from repro.relational.partition import IndexTable
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Schema
+from repro.storage.base import (
+    KIND_DAS_INDEX,
+    KIND_DAS_TUPLE,
+    IndexCache,
+    StorageBackend,
+    relation_fingerprint,
+)
+from repro.storage.serialize import (
+    deserialize_hybrid,
+    serialize_hybrid,
+    serialize_int,
+)
 
 #: Query-translator placements (Section 3.1 "settings").
 CLIENT_SETTING = "client"
@@ -174,6 +187,13 @@ def _mixed_split(schema: Schema, config: DASConfig) -> tuple[list[int], list[int
     return sensitive_positions, plain_positions
 
 
+def _recipient_digest(client_keys) -> bytes:
+    """Digest of the recipient key set — part of every etuple cache key,
+    so ciphertexts are never served to a different credential set."""
+    fingerprints = sorted(hybrid.key_fingerprint(key) for key in client_keys)
+    return hashlib.sha256(b"".join(fingerprints)).digest()[:16]
+
+
 def _encrypt_source(
     source_name: str,
     relation: Relation,
@@ -181,27 +201,98 @@ def _encrypt_source(
     config: DASConfig,
     client_keys,
     engine: CryptoEngine | None = None,
+    cache: IndexCache | None = None,
 ) -> _SourceState:
-    """Steps 1-2 at one datasource."""
+    """Steps 1-2 at one datasource.
+
+    With an index cache attached, the partition index table and the
+    per-row hybrid etuples persist across queries (keyed by row content
+    and recipient key set, under the source's key epoch), so a repeated
+    join on an unchanged relation skips the dominant per-row hybrid
+    encryption entirely.  Note the amortization trade-off inherited from
+    caching: the index table's salted identifiers repeat across the
+    series, so the mediator can correlate buckets *between* queries of
+    one epoch (see docs/storage.md).
+    """
     engine = engine or get_engine()
     if attribute in config.mixed_plaintext_attributes:
         raise ProtocolError(
             "the join attribute must remain sensitive in the mixed DAS model"
         )
-    active_domain = relation.active_domain(attribute)
-    partitions = _partition_domain(config, active_domain, attribute)
-    index_table = partitioning.build_index_table(
-        f"{relation.name}.{attribute}", partitions, salt=secrets.token_bytes(16)
+    content = relation_fingerprint(relation) if cache is not None else b""
+    recipients = _recipient_digest(client_keys) if cache is not None else b""
+    table_tag = (
+        f"{config.strategy}:{config.buckets}:{attribute}".encode()
     )
+
+    index_table: IndexTable | None = None
+    if cache is not None:
+        blob = cache.get(
+            relation.name, KIND_DAS_INDEX, b"itable:" + content + table_tag
+        )
+        if blob is not None:
+            try:
+                index_table = IndexTable.from_bytes(blob)
+            except Exception:
+                cache.decode_failure(KIND_DAS_INDEX)
+                index_table = None
+    if index_table is None:
+        active_domain = relation.active_domain(attribute)
+        partitions = _partition_domain(config, active_domain, attribute)
+        index_table = partitioning.build_index_table(
+            f"{relation.name}.{attribute}",
+            partitions,
+            salt=secrets.token_bytes(16),
+        )
+        if cache is not None:
+            cache.put(
+                relation.name,
+                KIND_DAS_INDEX,
+                b"itable:" + content + table_tag,
+                index_table.to_bytes(),
+            )
+
     sensitive_positions, plain_positions = _mixed_split(relation.schema, config)
+    position_tag = ",".join(map(str, sensitive_positions)).encode()
     rows = list(relation)
-    etuples = engine.batch_hybrid_encrypt(
-        client_keys,
-        [
-            encode_row(tuple(row[i] for i in sensitive_positions))
-            for row in rows
-        ],
-    )
+    encoded_rows = [
+        encode_row(tuple(row[i] for i in sensitive_positions)) for row in rows
+    ]
+
+    etuples: list[hybrid.HybridCiphertext | None] = [None] * len(rows)
+    pending: list[int] = []
+    if cache is not None:
+        for position, encoded in enumerate(encoded_rows):
+            blob = cache.get(
+                relation.name,
+                KIND_DAS_TUPLE,
+                b"etuple:" + recipients + position_tag + b":" + encoded,
+            )
+            if blob is not None:
+                try:
+                    etuples[position] = deserialize_hybrid(blob)
+                    continue
+                except StorageError:
+                    cache.decode_failure(KIND_DAS_TUPLE)
+            pending.append(position)
+    else:
+        pending = list(range(len(rows)))
+
+    if pending:
+        fresh = engine.batch_hybrid_encrypt(
+            client_keys, [encoded_rows[position] for position in pending]
+        )
+        for position, etuple in zip(pending, fresh):
+            etuples[position] = etuple
+            if cache is not None:
+                cache.put(
+                    relation.name,
+                    KIND_DAS_TUPLE,
+                    b"etuple:" + recipients + position_tag + b":"
+                    + encoded_rows[position],
+                    serialize_hybrid(etuple),
+                )
+
     encrypted_rows = [
         EncryptedTuple(
             etuple,
@@ -227,13 +318,34 @@ def _evaluate_server_query(
     query: ServerQuery,
     relation_1: EncryptedRelation,
     relation_2: EncryptedRelation,
+    backend: StorageBackend | None = None,
 ) -> ServerResult:
     """Step 6 at the mediator: sigma_CondS(R1^S x R2^S), hash-grouped.
 
     Operationally equivalent to evaluating the Cond_S disjunction over
     the cross product, but grouped by index value so cost is output- not
-    product-sized.
+    product-sized.  With a storage backend attached the bucket-membership
+    join is pushed down into the engine (a SQL equi-join on SQLite); a
+    failing backend degrades to the in-process path.
     """
+    if backend is not None:
+        try:
+            positions = backend.bucket_join(
+                [serialize_int(row.index_value) for row in relation_1.rows],
+                [serialize_int(row.index_value) for row in relation_2.rows],
+                [
+                    (serialize_int(index_1), serialize_int(index_2))
+                    for index_1, index_2 in query.pairs
+                ],
+            )
+            return ServerResult(
+                pairs=tuple(
+                    (relation_1.rows[i], relation_2.rows[j])
+                    for i, j in positions
+                )
+            )
+        except StorageError:
+            pass
     by_index_2: dict[int, list[EncryptedTuple]] = {}
     for row in relation_2.rows:
         by_index_2.setdefault(row.index_value, []).append(row)
@@ -421,6 +533,7 @@ def run_das_delivery(
                     config,
                     client_keys,
                     engine,
+                    cache=federation.source(source_name).index_cache(),
                 )
             states[source_name] = state
             if config.setting == CLIENT_SETTING:
@@ -514,6 +627,7 @@ def run_das_delivery(
                 server_query,
                 states[source_1].encrypted_relation,
                 states[source_2].encrypted_relation,
+                backend=federation.mediator.storage,
             )
         network.send(mediator_name, client.name, "das_server_result", server_result)
 

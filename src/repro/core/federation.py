@@ -18,6 +18,7 @@ from repro.mediation.datasource import DataSource
 from repro.mediation.mediator import Mediator
 from repro.mediation.network import Network
 from repro.relational.relation import Relation
+from repro.storage.base import StorageBackend
 from repro.transport.base import Transport
 
 
@@ -35,11 +36,25 @@ class Federation:
     mediator: Mediator = field(default_factory=Mediator)
     sources: dict[str, DataSource] = field(default_factory=dict)
     client: Client | None = None
+    #: Optional shared storage backend (see :mod:`repro.storage`): every
+    #: contracted source persists its relations in it (namespaced by
+    #: source name) and amortizes encrypted indexes across queries; the
+    #: mediator pushes the DAS server query down into it.
+    storage: StorageBackend | None = None
 
     def __post_init__(self) -> None:
         self.network.register(self.mediator.name)
+        if self.storage is not None:
+            self.mediator.storage = self.storage
 
     # -- wiring -------------------------------------------------------------
+
+    def attach_storage(self, backend: StorageBackend) -> None:
+        """Bind a storage backend to the mediator and every source."""
+        self.storage = backend
+        self.mediator.storage = backend
+        for source in self.sources.values():
+            source.attach_storage(backend)
 
     def add_source(
         self,
@@ -49,7 +64,9 @@ class Federation:
         """Contract a datasource supplying the given relations."""
         if name in self.sources:
             raise MediationError(f"datasource {name!r} already contracted")
-        source = DataSource(name=name, ca_key=self.ca.verification_key)
+        source = DataSource(
+            name=name, ca_key=self.ca.verification_key, storage=self.storage
+        )
         for relation, policy in relations:
             source.add_relation(relation, policy)
         self.sources[name] = source

@@ -26,6 +26,7 @@ session keys it recovered — i.e. those in the join.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import secrets
 from dataclasses import dataclass
@@ -51,19 +52,91 @@ from repro.core.result import MediationResult
 from repro.core.timing import timed
 from repro.crypto import hybrid
 from repro.crypto.engine import CryptoEngine, get_engine
-from repro.crypto.homomorphic import AdditiveHomomorphicScheme
+from repro.crypto.homomorphic import AdditiveHomomorphicScheme, PaillierScheme
 from repro.crypto.instrumentation import count_primitives, record
+from repro.crypto.paillier import PaillierCiphertext
 from repro.crypto.polynomial import (
     EncryptedPolynomial,
     encrypt_polynomial,
     from_roots,
 )
-from repro.errors import EncodingError, ProtocolError
+from repro.errors import EncodingError, ProtocolError, StorageError
 from repro.relational.encoding import decode_rows, encode_rows
 from repro.relational.relation import Relation, Row
+from repro.storage.base import KIND_PM_COEFFS, IndexCache
+from repro.storage.serialize import deserialize_int_list, serialize_int_list
 
 INLINE_MODE = "inline"
 SESSION_KEY_MODE = "session_key"
+
+
+def _cached_encrypt_polynomial(
+    scheme: AdditiveHomomorphicScheme,
+    public_key: Any,
+    plain_coefficients: list[int],
+    cache: IndexCache | None,
+    relation_name: str,
+    engine: CryptoEngine | None,
+) -> EncryptedPolynomial:
+    """Encrypt P_i's coefficients, amortizing across the query series.
+
+    Paillier ciphertexts are plain integers bound to the public key, so
+    the encrypted coefficient vector persists as an integer list keyed
+    by (public-key fingerprint, coefficient digest).  Schemes with
+    non-integer ciphertexts (EC-ElGamal points) skip the cache.
+    """
+    cacheable = cache is not None and isinstance(scheme, PaillierScheme)
+    slot = b""
+    if cacheable:
+        digest = hashlib.sha256()
+        for coefficient in plain_coefficients:
+            digest.update(coefficient.to_bytes(
+                (coefficient.bit_length() + 7) // 8 or 1, "big"))
+            digest.update(b"/")
+        slot = (
+            b"pmcoef:"
+            + hybrid_fingerprint(public_key)
+            + digest.digest()[:16]
+        )
+        blob = cache.get(relation_name, KIND_PM_COEFFS, slot)
+        if blob is not None:
+            try:
+                values = deserialize_int_list(blob)
+                if len(values) != len(plain_coefficients):
+                    raise StorageError("cached coefficient count mismatch")
+                return EncryptedPolynomial(
+                    scheme=scheme,
+                    public_key=public_key,
+                    coefficients=tuple(
+                        PaillierCiphertext(value, public_key)
+                        for value in values
+                    ),
+                )
+            except Exception:
+                cache.decode_failure(KIND_PM_COEFFS)
+    encrypted = encrypt_polynomial(
+        scheme, public_key, plain_coefficients, engine=engine
+    )
+    if cacheable:
+        cache.put(
+            relation_name,
+            KIND_PM_COEFFS,
+            slot,
+            serialize_int_list(
+                [ciphertext.value for ciphertext in encrypted.coefficients]
+            ),
+        )
+    return encrypted
+
+
+def hybrid_fingerprint(public_key: Any) -> bytes:
+    """Stable fingerprint of a Paillier public key (by modulus)."""
+    n = getattr(public_key, "n", None)
+    if n is None:
+        return b"\x00" * 16
+    return hashlib.sha256(
+        b"paillier/" + n.to_bytes((n.bit_length() + 7) // 8, "big")
+    ).digest()[:16]
 
 
 @dataclass(frozen=True)
@@ -242,8 +315,13 @@ def run_private_matching_delivery(
                     public_key,
                     config.max_key_bytes,
                 )
-                encrypted = encrypt_polynomial(
-                    scheme, public_key, plain_coefficients, engine=engine
+                encrypted = _cached_encrypt_polynomial(
+                    scheme,
+                    public_key,
+                    plain_coefficients,
+                    federation.source(source_name).index_cache(),
+                    relation.name,
+                    engine,
                 )
             states[source_name] = state
             coefficients[source_name] = encrypted

@@ -115,11 +115,40 @@ def run_join_query(
                 tree, result.global_result
             )
             result.artifacts["join_rows_before_postprocessing"] = join_rows
+            storage_stats = _collect_storage_stats(federation)
+            if storage_stats is not None:
+                result.artifacts["storage_cache"] = storage_stats
             return result
     except ReproError as exc:
         if on_failure != "return":
             raise
         return _describe_failure(federation, query, protocol, phase, exc)
+
+
+def _collect_storage_stats(federation: Federation) -> dict[str, Any] | None:
+    """Aggregate per-source index-cache statistics for ``result.artifacts``.
+
+    Returns None when the federation has no storage backend so storage-less
+    runs keep their artifact dict unchanged (and tests comparing artifacts
+    across configurations stay meaningful).
+    """
+    if federation.storage is None:
+        return None
+    totals = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+    per_source: dict[str, dict[str, int]] = {}
+    for name, source in sorted(federation.sources.items()):
+        cache = source.index_cache()
+        if cache is None:
+            continue
+        stats = cache.stats.as_dict()
+        per_source[name] = stats
+        for key in totals:
+            totals[key] += stats[key]
+    return {
+        "backend": federation.storage.describe(),
+        "sources": per_source,
+        **totals,
+    }
 
 
 def _describe_failure(

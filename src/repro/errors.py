@@ -170,6 +170,21 @@ class FrameCodecError(CodecError, NetworkError):
 
 
 # ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """A storage backend operation failed (I/O error, bad spec, corrupt
+    persisted state).
+
+    Protocol code treats index-cache failures as soft: a raised
+    StorageError during a cache read/write degrades to recomputing the
+    encrypted index, it never fails the query.  Failures while loading
+    *rows* (the authoritative data) are hard errors.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Observability
 # ---------------------------------------------------------------------------
 

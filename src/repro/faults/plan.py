@@ -29,6 +29,14 @@ action         transport (FaultyTransport)  proxy (ChaosProxy)
 ``reset``      —                            connection torn down
 ``crash``      party dies (permanent)       proxy dies (port goes dark)
 =============  ==========================  =============================
+
+The ``storage`` site (:class:`~repro.storage.faulty.FaultyStorage`)
+observes backend operations instead of messages — sender and receiver
+are both the namespace, and ``kind`` is ``storage:<operation>`` (e.g.
+``storage:cache_get``).  Supported actions: ``delay`` (slow I/O),
+``drop`` (operation raises StorageError), ``corrupt`` (cache reads
+return flipped bytes, which the deserializers reject).  Index-cache
+failures degrade to recomputation; row loads are hard failures.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ SITE_ACTIONS = {
     "proxy": frozenset(
         {"delay", "drop", "corrupt", "duplicate", "truncate", "reset", "crash"}
     ),
+    "storage": frozenset({"delay", "drop", "corrupt"}),
 }
 
 

@@ -43,6 +43,7 @@ from repro.mediation.access_control import allow_all
 from repro.mediation.ca import CertificationAuthority
 from repro.mediation.client import default_homomorphic_scheme, setup_client
 from repro.relational.datagen import WorkloadSpec, generate
+from repro.storage import storage_from_spec
 from repro.telemetry.tracing import Tracer, use_tracer
 from repro.transport import RetryPolicy, TcpTransport
 from repro.transport.server import DEFAULT_MAX_SESSIONS
@@ -84,6 +85,11 @@ class LoadgenConfig:
     #: behind each other's ``ack_delay`` at the endpoint, so this must
     #: cover ``sessions * ack_delay`` with headroom.
     io_timeout: float = 60.0
+    #: Storage backend spec (``"memory"`` or ``"sqlite:PATH"``); one
+    #: backend is shared by all sessions, so a series of queries over
+    #: the same relations amortizes its encrypted indexes across the
+    #: whole load run.  ``None`` disables storage (the legacy shape).
+    storage_spec: str | None = None
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -131,6 +137,9 @@ class LoadReport:
     #: ids, "endpoint_spans": recv spans at the trio} — the stitching
     #: evidence: every session's activity is separable from the rest.
     stitching: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Aggregated index-cache statistics when the load ran over a
+    #: storage backend (None otherwise).
+    storage: dict[str, Any] | None = None
 
     # -- derived metrics ---------------------------------------------------
 
@@ -179,6 +188,7 @@ class LoadReport:
             "latency_max": self.latency(1.0),
             "consistent_results": self.consistent,
             "stitching": self.stitching,
+            "storage": self.storage,
             "outcomes": [
                 {
                     "session": outcome.session,
@@ -214,6 +224,14 @@ class LoadReport:
             lines.append(
                 f"  stitching  {len(self.stitching)} sessions, "
                 f"{spans} client spans, {endpoint} endpoint spans"
+            )
+        if self.storage is not None:
+            lines.append(
+                f"  storage    [{self.storage['backend']}] "
+                f"hits={self.storage['hits']} "
+                f"misses={self.storage['misses']} "
+                f"puts={self.storage['puts']} "
+                f"errors={self.storage['errors']}"
             )
         for outcome in self.failed:
             lines.append(
@@ -266,6 +284,7 @@ def run_load(
     hub: TcpTransport | None = None
     workers: list[_Worker] = []
     tracer = Tracer(service="loadgen")
+    storage = storage_from_spec(config.storage_spec)
     try:
         if endpoints is None:
             hub = TcpTransport(
@@ -280,7 +299,7 @@ def run_load(
             endpoints = {party: hub.endpoint_of(party) for party in TRIO}
         for index in range(config.sessions):
             transport = TcpTransport(endpoints=dict(endpoints), retry=retry)
-            federation = Federation(ca=ca, network=transport)
+            federation = Federation(ca=ca, network=transport, storage=storage)
             federation.add_source("S1", [(workload.relation_1, allow_all())])
             federation.add_source("S2", [(workload.relation_2, allow_all())])
             federation.attach_client(client)
@@ -315,12 +334,25 @@ def run_load(
             outcomes=[outcome for outcomes in per_worker for outcome in outcomes],
         )
         report.stitching = _stitch(tracer, workers, hub)
+        if storage is not None:
+            totals = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+            for worker in workers:
+                for source in worker.federation.sources.values():
+                    cache = source.index_cache()
+                    if cache is None:
+                        continue
+                    stats = cache.stats.as_dict()
+                    for key in totals:
+                        totals[key] += stats[key]
+            report.storage = {"backend": storage.describe(), **totals}
         return report
     finally:
         for worker in workers:
             worker.transport.close()
         if hub is not None:
             hub.close()
+        if storage is not None:
+            storage.close()
 
 
 def _run_worker(worker: _Worker, config: LoadgenConfig) -> list[QueryOutcome]:

@@ -13,15 +13,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Iterable, Sequence
+
 from repro.crypto import rsa
 from repro.crypto.engine import CryptoEngine, get_engine
-from repro.errors import AccessDenied, CredentialError, QueryError
+from repro.errors import AccessDenied, CredentialError, QueryError, StorageError
 from repro.mediation.access_control import AccessPolicy, allow_all
 from repro.mediation.ca import verify_credential
 from repro.mediation.credentials import Credential
 from repro.relational.algebra import PartialQuery
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, Row
 from repro.session import SessionRegistry, current_session_id
+from repro.storage.base import IndexCache, StorageBackend
 from repro.telemetry import tracing
 
 
@@ -48,6 +51,13 @@ class DataSource:
     sessions: SessionRegistry = field(
         default_factory=lambda: SessionRegistry(capacity=256), repr=False
     )
+    #: Optional storage backend.  When set, relations persist in the
+    #: backend (selection pushdown executes there) and the protocols
+    #: amortize encrypted-index material across queries via
+    #: :meth:`index_cache`.  ``None`` keeps the original pure in-memory
+    #: data plane.
+    storage: StorageBackend | None = field(default=None, repr=False)
+    _index_cache: IndexCache | None = field(default=None, repr=False)
 
     def ensure_keypair(self, bits: int = 1024) -> rsa.RSAPublicKey:
         """The source's own public encryption key (generated on demand)."""
@@ -73,6 +83,84 @@ class DataSource:
             for name, _ in rule.required_properties
         }
         self.relevant_property_names = self.relevant_property_names | names
+        if self.storage is not None:
+            # Persisting identical content is a no-op that keeps the
+            # encrypted-index caches warm across process restarts;
+            # changed content invalidates them (see StorageBackend).
+            self.storage.store_relation(self.name, relation)
+
+    # -- storage ----------------------------------------------------------
+
+    def attach_storage(self, backend: StorageBackend) -> None:
+        """Bind a storage backend and persist the current relations."""
+        self.storage = backend
+        self._index_cache = None
+        for relation in self.relations.values():
+            backend.store_relation(self.name, relation)
+
+    def index_cache(self) -> IndexCache | None:
+        """The soft-failure encrypted-index cache, or ``None`` when no
+        backend is attached (protocols then recompute everything)."""
+        if self.storage is None:
+            return None
+        if self._index_cache is None:
+            self._index_cache = IndexCache(self.storage, self.name)
+        return self._index_cache
+
+    def rotate_keys(self) -> int:
+        """Rotate this source's protocol keys: bump the key epoch.
+
+        Cached index material (commutative keys/tags/double-encryptions,
+        tuple ciphertexts, polynomial coefficients) written under the
+        old epoch is dropped; the next query regenerates everything
+        under fresh keys.  Without storage this is a no-op (keys are
+        fresh per query anyway).
+        """
+        if self.storage is None:
+            return 0
+        return self.storage.bump_key_epoch(self.name)
+
+    # -- row mutations -----------------------------------------------------
+
+    def _replace_relation(self, name: str, rows: Iterable[Row]) -> Relation:
+        if name not in self.relations:
+            raise QueryError(f"datasource {self.name} does not manage {name!r}")
+        updated = Relation(self.relations[name].schema, rows)
+        self.relations[name] = updated
+        if self.storage is not None:
+            # A changed row set invalidates the relation's cache entries.
+            self.storage.store_relation(self.name, updated)
+        return updated
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence]) -> Relation:
+        """Insert rows (set semantics); invalidates the relation's caches."""
+        current = self.relations.get(name)
+        if current is None:
+            raise QueryError(f"datasource {self.name} does not manage {name!r}")
+        return self._replace_relation(
+            name, list(current.rows) + [tuple(row) for row in rows]
+        )
+
+    def delete_rows(self, name: str, rows: Iterable[Sequence]) -> Relation:
+        """Delete exact rows; invalidates the relation's caches."""
+        current = self.relations.get(name)
+        if current is None:
+            raise QueryError(f"datasource {self.name} does not manage {name!r}")
+        doomed = {tuple(row) for row in rows}
+        return self._replace_relation(
+            name, [row for row in current.rows if row not in doomed]
+        )
+
+    def update_row(self, name: str, old_row: Sequence, new_row: Sequence) -> Relation:
+        """Replace one row; invalidates the relation's caches."""
+        current = self.relations.get(name)
+        if current is None:
+            raise QueryError(f"datasource {self.name} does not manage {name!r}")
+        old = tuple(old_row)
+        if old not in current:
+            raise QueryError(f"row {old!r} not present in {name!r}")
+        rows = [row for row in current.rows if row != old] + [tuple(new_row)]
+        return self._replace_relation(name, rows)
 
     def check_credentials(
         self,
@@ -138,7 +226,25 @@ class DataSource:
                 )
             valid = self.check_credentials(credentials)
             policy = self.policies[query.relation_name]
+            # Selection pushdown: the WHERE clause executes inside the
+            # storage backend (compiled to SQL on SQLite).  Access rules
+            # are row filters, so policy and selection commute — the
+            # policy then runs over the (usually much smaller) selected
+            # rows.  A failing backend degrades to the in-memory path.
+            selected: Relation | None = None
+            if self.storage is not None:
+                try:
+                    selected = self.storage.select(
+                        self.name, query.relation_name, query.condition
+                    )
+                except StorageError:
+                    cache = self.index_cache()
+                    if cache is not None:
+                        cache.stats.errors += 1
+                    selected = None
             try:
+                if selected is not None:
+                    return policy.evaluate(selected, valid)
                 permitted = policy.evaluate(
                     self.relations[query.relation_name], valid
                 )

@@ -1,0 +1,157 @@
+"""In-memory reference storage backend.
+
+Implements the :class:`~repro.storage.base.StorageBackend` contract with
+plain dictionaries.  It is the semantic reference the SQLite backend is
+tested against (the equivalence suite asserts byte-identical join
+results on both), and the default backend when no ``--storage`` spec is
+given — non-persistent, but it still provides within-process index-cache
+amortization across a query series.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.errors import StorageError
+from repro.relational.algebra import select as relational_select
+from repro.relational.conditions import Condition
+from repro.relational.relation import Relation
+from repro.storage.base import StorageBackend, relation_fingerprint
+
+
+class MemoryBackend(StorageBackend):
+    """Dictionary-backed backend; the reference implementation."""
+
+    kind = "memory"
+    persistent = False
+
+    def __init__(self) -> None:
+        # One lock serializes every operation: concurrent loadgen
+        # sessions share a single backend, and unguarded iteration over
+        # ``_cache`` (invalidate, epoch bump) would race with puts.
+        self._lock = threading.Lock()
+        # namespace -> relation name -> (Relation, fingerprint)
+        self._relations: dict[str, dict[str, tuple[Relation, bytes]]] = {}
+        # namespace -> epoch
+        self._epochs: dict[str, int] = {}
+        # (namespace, relation, kind, key) -> (epoch, value)
+        self._cache: dict[tuple[str, str, str, bytes], tuple[int, bytes]] = {}
+
+    # -- rows ------------------------------------------------------------
+
+    def store_relation(self, namespace: str, relation: Relation) -> bool:
+        digest = relation_fingerprint(relation)
+        with self._lock:
+            bucket = self._relations.setdefault(namespace, {})
+            existing = bucket.get(relation.name)
+            if existing is not None and existing[1] == digest:
+                return False
+            bucket[relation.name] = (relation, digest)
+            if existing is not None:
+                self._invalidate_locked(namespace, relation.name)
+            return True
+
+    def load_relation(self, namespace: str, name: str) -> Relation | None:
+        with self._lock:
+            entry = self._relations.get(namespace, {}).get(name)
+        return entry[0] if entry is not None else None
+
+    def relation_names(self, namespace: str) -> list[str]:
+        with self._lock:
+            return sorted(self._relations.get(namespace, {}))
+
+    def select(
+        self, namespace: str, name: str, condition: Condition | None
+    ) -> Relation:
+        relation = self.load_relation(namespace, name)
+        if relation is None:
+            raise StorageError(
+                f"relation {name!r} not stored under namespace {namespace!r}"
+            )
+        if condition is None:
+            return relation
+        return relational_select(relation, condition)
+
+    # -- server-query pushdown ------------------------------------------
+
+    def bucket_join(
+        self,
+        left_values: Sequence[bytes],
+        right_values: Sequence[bytes],
+        pairs: Iterable[tuple[bytes, bytes]],
+    ) -> list[tuple[int, int]]:
+        left_groups: dict[bytes, list[int]] = {}
+        for position, value in enumerate(left_values):
+            left_groups.setdefault(value, []).append(position)
+        right_groups: dict[bytes, list[int]] = {}
+        for position, value in enumerate(right_values):
+            right_groups.setdefault(value, []).append(position)
+        matches: set[tuple[int, int]] = set()
+        for left_value, right_value in pairs:
+            for i in left_groups.get(left_value, ()):
+                for j in right_groups.get(right_value, ()):
+                    matches.add((i, j))
+        return sorted(matches)
+
+    # -- key epochs ------------------------------------------------------
+
+    def key_epoch(self, namespace: str) -> int:
+        with self._lock:
+            return self._epochs.get(namespace, 0)
+
+    def bump_key_epoch(self, namespace: str) -> int:
+        with self._lock:
+            epoch = self._epochs.get(namespace, 0) + 1
+            self._epochs[namespace] = epoch
+            stale = [
+                entry_key
+                for entry_key, (entry_epoch, _) in self._cache.items()
+                if entry_key[0] == namespace and entry_epoch != epoch
+            ]
+            for entry_key in stale:
+                del self._cache[entry_key]
+            return epoch
+
+    # -- cache -----------------------------------------------------------
+
+    def cache_get(
+        self, namespace: str, relation: str, kind: str, key: bytes
+    ) -> bytes | None:
+        with self._lock:
+            entry = self._cache.get((namespace, relation, kind, key))
+            if entry is None:
+                return None
+            epoch, value = entry
+            if epoch != self._epochs.get(namespace, 0):
+                return None
+            return value
+
+    def cache_put(
+        self, namespace: str, relation: str, kind: str, key: bytes, value: bytes
+    ) -> None:
+        with self._lock:
+            epoch = self._epochs.get(namespace, 0)
+            self._cache[(namespace, relation, kind, key)] = (epoch, value)
+
+    def invalidate_relation(self, namespace: str, relation: str) -> int:
+        with self._lock:
+            return self._invalidate_locked(namespace, relation)
+
+    def _invalidate_locked(self, namespace: str, relation: str) -> int:
+        stale = [
+            entry_key
+            for entry_key in self._cache
+            if entry_key[0] == namespace and entry_key[1] == relation
+        ]
+        for entry_key in stale:
+            del self._cache[entry_key]
+        return len(stale)
+
+    def cache_size(self, namespace: str | None = None) -> int:
+        with self._lock:
+            if namespace is None:
+                return len(self._cache)
+            return sum(
+                1 for entry_key in self._cache if entry_key[0] == namespace
+            )

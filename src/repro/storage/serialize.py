@@ -1,0 +1,99 @@
+"""Binary serialization for cached ciphertext artifacts.
+
+The index caches persist three kinds of ciphertext material:
+
+* :class:`~repro.crypto.hybrid.HybridCiphertext` values (commutative
+  tuple-set ciphertexts and DAS encrypted tuples),
+* large integers (commutative tags/double-encryptions and SRA exponents),
+* integer lists (Paillier-encrypted polynomial coefficients).
+
+All formats are length-prefixed and self-delimiting, so corrupted blobs
+raise :class:`~repro.errors.StorageError` instead of decoding to garbage
+that only fails later inside a protocol step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.crypto.hybrid import HybridCiphertext
+from repro.errors import StorageError
+
+_MAGIC_HYBRID = b"SHC1"
+_MAGIC_INTS = b"SIL1"
+
+
+def _pack_chunk(data: bytes) -> bytes:
+    return len(data).to_bytes(4, "big") + data
+
+
+def _unpack_chunk(data: bytes, offset: int) -> tuple[bytes, int]:
+    if offset + 4 > len(data):
+        raise StorageError("truncated storage blob: missing length prefix")
+    length = int.from_bytes(data[offset : offset + 4], "big")
+    offset += 4
+    if offset + length > len(data):
+        raise StorageError("truncated storage blob: chunk exceeds payload")
+    return data[offset : offset + length], offset + length
+
+
+def serialize_hybrid(ciphertext: HybridCiphertext) -> bytes:
+    """Encode a hybrid ciphertext (wrapped keys + DEM body)."""
+    parts = [_MAGIC_HYBRID, len(ciphertext.wrapped_keys).to_bytes(4, "big")]
+    # Sort by fingerprint so equal ciphertexts serialize identically.
+    for fp in sorted(ciphertext.wrapped_keys):
+        parts.append(_pack_chunk(fp))
+        parts.append(_pack_chunk(ciphertext.wrapped_keys[fp]))
+    parts.append(_pack_chunk(ciphertext.body))
+    return b"".join(parts)
+
+
+def deserialize_hybrid(data: bytes) -> HybridCiphertext:
+    """Decode a blob produced by :func:`serialize_hybrid`."""
+    if len(data) < 8 or data[:4] != _MAGIC_HYBRID:
+        raise StorageError("not a serialized hybrid ciphertext")
+    count = int.from_bytes(data[4:8], "big")
+    offset = 8
+    wrapped: dict[bytes, bytes] = {}
+    for _ in range(count):
+        fp, offset = _unpack_chunk(data, offset)
+        blob, offset = _unpack_chunk(data, offset)
+        wrapped[fp] = blob
+    body, offset = _unpack_chunk(data, offset)
+    if offset != len(data):
+        raise StorageError("trailing bytes after hybrid ciphertext")
+    return HybridCiphertext(wrapped_keys=wrapped, body=body)
+
+
+def serialize_int(value: int) -> bytes:
+    """Encode a non-negative integer (tag, double-encryption, exponent)."""
+    if value < 0:
+        raise StorageError("cannot serialize negative integer")
+    width = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(width, "big")
+
+
+def deserialize_int(data: bytes) -> int:
+    if not data:
+        raise StorageError("empty integer blob")
+    return int.from_bytes(data, "big")
+
+
+def serialize_int_list(values: Iterable[int] | Sequence[int]) -> bytes:
+    """Encode an ordered list of non-negative integers (coefficients)."""
+    chunks = [_pack_chunk(serialize_int(v)) for v in values]
+    return _MAGIC_INTS + len(chunks).to_bytes(4, "big") + b"".join(chunks)
+
+
+def deserialize_int_list(data: bytes) -> list[int]:
+    if len(data) < 8 or data[:4] != _MAGIC_INTS:
+        raise StorageError("not a serialized integer list")
+    count = int.from_bytes(data[4:8], "big")
+    offset = 8
+    values: list[int] = []
+    for _ in range(count):
+        chunk, offset = _unpack_chunk(data, offset)
+        values.append(deserialize_int(chunk))
+    if offset != len(data):
+        raise StorageError("trailing bytes after integer list")
+    return values

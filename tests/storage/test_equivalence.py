@@ -1,0 +1,142 @@
+"""Backend equivalence: every protocol, every backend, same bytes.
+
+The acceptance criterion of the storage engine: for all three delivery
+protocols, a run over the memory backend, over SQLite, and with no
+storage at all produce byte-identical global results — cold and warm
+(second run over a hot index cache) alike.  A TCP variant guards the
+transport-independence of the same claim.
+"""
+
+import pytest
+
+from repro import Federation, run_join_query
+from repro.mediation.access_control import allow_all
+from repro.relational.encoding import encode_relation
+from repro.storage import MemoryBackend, SQLiteBackend
+from repro.transport import RetryPolicy, TcpTransport
+
+QUERY = "select * from R1 natural join R2"
+SELECTIVE_QUERY = "select * from R1 natural join R2 where k >= 2"
+
+PROTOCOLS = ["das", "commutative", "private-matching"]
+
+POLICY = RetryPolicy(attempts=3, base_delay=0.05, connect_timeout=5.0,
+                     io_timeout=30.0)
+
+
+def build(ca, client, workload, storage=None, network=None):
+    if network is None:
+        federation = Federation(ca=ca, storage=storage)
+    else:
+        federation = Federation(ca=ca, network=network, storage=storage)
+    federation.add_source("S1", [(workload.relation_1, allow_all())])
+    federation.add_source("S2", [(workload.relation_2, allow_all())])
+    federation.attach_client(client)
+    return federation
+
+
+def make_backend(kind, tmp_path):
+    if kind == "memory":
+        return MemoryBackend()
+    return SQLiteBackend(str(tmp_path / "equivalence.db"))
+
+
+@pytest.fixture
+def baseline(ca, client, workload):
+    """No-storage result bytes per protocol (computed once per test)."""
+
+    def compute(protocol, query=QUERY):
+        federation = build(ca, client, workload)
+        result = run_join_query(federation, query, protocol=protocol)
+        return encode_relation(result.global_result)
+
+    return compute
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+class TestBusEquivalence:
+    def test_cold_and_warm_runs_match_no_storage(
+        self, ca, client, workload, tmp_path, baseline, kind, protocol
+    ):
+        expected = baseline(protocol)
+        backend = make_backend(kind, tmp_path)
+        try:
+            federation = build(ca, client, workload, storage=backend)
+            cold = run_join_query(federation, QUERY, protocol=protocol)
+            warm = run_join_query(federation, QUERY, protocol=protocol)
+            assert encode_relation(cold.global_result) == expected
+            assert encode_relation(warm.global_result) == expected
+            cold_stats = cold.artifacts["storage_cache"]
+            warm_stats = warm.artifacts["storage_cache"]
+            assert warm_stats["hits"] > cold_stats["hits"]
+            assert warm_stats["errors"] == 0
+        finally:
+            backend.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+class TestSelectionPushdownEquivalence:
+    def test_where_clause_pushdown_matches(
+        self, ca, client, workload, tmp_path, baseline, kind
+    ):
+        expected = baseline("commutative", SELECTIVE_QUERY)
+        backend = make_backend(kind, tmp_path)
+        try:
+            federation = build(ca, client, workload, storage=backend)
+            federation.mediator.push_down = True
+            result = run_join_query(
+                federation, SELECTIVE_QUERY, protocol="commutative"
+            )
+            assert encode_relation(result.global_result) == expected
+        finally:
+            backend.close()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("kind", ["memory", "sqlite"])
+class TestTcpEquivalence:
+    def test_tcp_run_matches_bus_run(
+        self, ca, client, workload, tmp_path, baseline, kind, protocol
+    ):
+        expected = baseline(protocol)
+        backend = make_backend(kind, tmp_path)
+        try:
+            with TcpTransport(retry=POLICY) as transport:
+                federation = build(
+                    ca, client, workload, storage=backend, network=transport
+                )
+                result = run_join_query(federation, QUERY, protocol=protocol)
+                assert encode_relation(result.global_result) == expected
+        finally:
+            backend.close()
+
+
+class TestCrossProcessPersistence:
+    """A fresh SQLiteBackend over the same file resumes the warm cache."""
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_reopened_store_yields_cache_hits(
+        self, ca, client, workload, tmp_path, baseline, protocol
+    ):
+        expected = baseline(protocol)
+        path = str(tmp_path / "persist.db")
+
+        first = SQLiteBackend(path)
+        try:
+            federation = build(ca, client, workload, storage=first)
+            cold = run_join_query(federation, QUERY, protocol=protocol)
+            assert encode_relation(cold.global_result) == expected
+        finally:
+            first.close()
+
+        second = SQLiteBackend(path)
+        try:
+            federation = build(ca, client, workload, storage=second)
+            warm = run_join_query(federation, QUERY, protocol=protocol)
+            assert encode_relation(warm.global_result) == expected
+            # Same client key material, same relations: the second
+            # "process" must reuse persisted index material.
+            assert warm.artifacts["storage_cache"]["hits"] > 0
+        finally:
+            second.close()

@@ -30,6 +30,7 @@ from repro.relational import sql
 from repro.relational.partition import Partition
 from repro.relational.relation import Relation
 from repro.relational.schema import schema
+from repro.storage import storage_from_spec
 from repro.telemetry.metrics import MetricsRegistry
 from repro.transport import RetryPolicy, TcpTransport, codec
 
@@ -157,6 +158,7 @@ TRIGGERS = {
     errors.ValueCodecError: lambda: codec.decode_value(b"\xff"),
     errors.FrameCodecError: lambda: codec.parse_frame_header(b"XXXXXXXX"),
     errors.TelemetryError: lambda: MetricsRegistry().counter("bad name!"),
+    errors.StorageError: lambda: storage_from_spec("postgres:not-yet"),
 }
 
 
