@@ -43,6 +43,7 @@ from repro import (
     setup_client,
 )
 from repro.crypto import paillier
+from repro.crypto.backend import active_backend
 from repro.crypto.engine import CryptoEngine
 from repro.crypto.homomorphic import PaillierScheme
 from repro.mediation.access_control import allow_all
@@ -66,6 +67,7 @@ REPORT: dict = {
         "group_bits": GROUP_BITS,
         "workers": WORKERS,
         "cpu_count": os.cpu_count(),
+        "crypto_backend": active_backend().name,
     },
 }
 

@@ -115,6 +115,7 @@ def run_join_query(
                 tree, result.global_result
             )
             result.artifacts["join_rows_before_postprocessing"] = join_rows
+            result.artifacts["crypto"] = crypto_context(engine)
             storage_stats = _collect_storage_stats(federation)
             if storage_stats is not None:
                 result.artifacts["storage_cache"] = storage_stats
@@ -123,6 +124,23 @@ def run_join_query(
         if on_failure != "return":
             raise
         return _describe_failure(federation, query, protocol, phase, exc)
+
+
+def crypto_context(engine: CryptoEngine | None = None) -> dict[str, Any]:
+    """Self-description of the crypto configuration a run executed under.
+
+    Recorded in ``result.artifacts["crypto"]`` so audit records, bench
+    JSON, and load reports name the bigint backend and engine mode that
+    produced their numbers.
+    """
+    from repro.crypto.engine import get_engine
+
+    active = engine if engine is not None else get_engine()
+    return {
+        "backend": active.backend_name,
+        "engine_mode": active.mode,
+        "workers": active.workers,
+    }
 
 
 def _collect_storage_stats(federation: Federation) -> dict[str, Any] | None:

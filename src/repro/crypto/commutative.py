@@ -26,7 +26,7 @@ import secrets
 from dataclasses import dataclass
 
 from repro.crypto import instrumentation
-from repro.crypto.numtheory import is_safe_prime, jacobi, modinv
+from repro.crypto.numtheory import is_safe_prime, jacobi, modinv, powmod
 from repro.errors import KeyError_, ParameterError
 
 
@@ -113,7 +113,7 @@ def euler_contains(group: CommutativeGroup, x: int) -> bool:
     property-checked against, and as the faithful cost model for the
     legacy benchmark baseline (one full exponentiation per test).
     """
-    return 0 < x < group.p and pow(x, group.q, group.p) == 1
+    return 0 < x < group.p and powmod(x, group.q, group.p) == 1
 
 
 def apply(key: CommutativeKey, x: int) -> int:
@@ -122,7 +122,7 @@ def apply(key: CommutativeKey, x: int) -> int:
     if not group.contains(x):
         raise ParameterError("input is not in the quadratic-residue domain")
     instrumentation.record("commutative.encrypt")
-    return pow(x, key.exponent, group.p)
+    return powmod(x, key.exponent, group.p)
 
 
 def invert(key: CommutativeKey, y: int) -> int:
@@ -131,4 +131,4 @@ def invert(key: CommutativeKey, y: int) -> int:
     if not group.contains(y):
         raise ParameterError("input is not in the quadratic-residue domain")
     instrumentation.record("commutative.decrypt")
-    return pow(y, key.inverse().exponent, group.p)
+    return powmod(y, key.inverse().exponent, group.p)

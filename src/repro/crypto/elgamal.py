@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.crypto import instrumentation
 from repro.crypto.commutative import CommutativeGroup
-from repro.crypto.numtheory import modinv
+from repro.crypto.numtheory import modinv, powmod
 from repro.errors import DecryptionError, EncryptionError, KeyError_
 
 
@@ -59,7 +59,7 @@ def generate_keypair(group: CommutativeGroup) -> ElGamalPrivateKey:
     while g == 1:
         g = group.random_element()
     x = 1 + secrets.randbelow(q - 1)
-    h = pow(g, x, group.p)
+    h = powmod(g, x, group.p)
     return ElGamalPrivateKey(ElGamalPublicKey(group, g, h), x)
 
 
@@ -77,7 +77,10 @@ class ElGamalPrecomputation:
     :class:`repro.crypto.engine.FixedBaseTable`) that replace both full
     ladders with a handful of modular multiplications.  The trade-off is
     memory — roughly ``2 * 2^window * |p|^2 / (8 * window)`` bytes per
-    key — which is why tables are built explicitly, not on first use.
+    key — which is why tables are built explicitly, not on first use,
+    and why each build is checked against the ``REPRO_FIXED_BASE_MAX_MB``
+    budget: an over-budget table comes back as ``None`` (a counted
+    skip) and :func:`encrypt` falls back to the plain ladder.
     """
 
     public_key: ElGamalPublicKey
@@ -86,15 +89,20 @@ class ElGamalPrecomputation:
 
 
 def precompute(public_key: ElGamalPublicKey, window: int = 5) -> ElGamalPrecomputation:
-    """Build fixed-base tables for ``public_key``'s ``g`` and ``h``."""
+    """Build fixed-base tables for ``public_key``'s ``g`` and ``h``.
+
+    Tables that would exceed the fixed-base memory budget are skipped
+    (left as ``None``); the precomputation stays usable and encryption
+    silently degrades to plain exponentiation for the skipped base.
+    """
     from repro.crypto.engine import FixedBaseTable
 
     group = public_key.group
     bits = group.q.bit_length()
     return ElGamalPrecomputation(
         public_key=public_key,
-        g_table=FixedBaseTable(public_key.g, group.p, bits, window),
-        h_table=FixedBaseTable(public_key.h, group.p, bits, window),
+        g_table=FixedBaseTable.build(public_key.g, group.p, bits, window),
+        h_table=FixedBaseTable.build(public_key.h, group.p, bits, window),
     )
 
 
@@ -111,12 +119,16 @@ def encrypt(
         raise KeyError_("precomputation tables built for a different key")
     instrumentation.record("elgamal.encrypt")
     r = _fresh_nonce(group.q)
-    if precomputation is None:
-        c1 = pow(public_key.g, r, group.p)
-        c2 = message * pow(public_key.h, r, group.p) % group.p
+    g_table = None if precomputation is None else precomputation.g_table
+    h_table = None if precomputation is None else precomputation.h_table
+    if g_table is None:
+        c1 = powmod(public_key.g, r, group.p)
     else:
-        c1 = precomputation.g_table.pow(r)
-        c2 = message * precomputation.h_table.pow(r) % group.p
+        c1 = g_table.pow(r)
+    if h_table is None:
+        c2 = message * powmod(public_key.h, r, group.p) % group.p
+    else:
+        c2 = message * h_table.pow(r) % group.p
     return ElGamalCiphertext(c1, c2, public_key)
 
 
@@ -126,7 +138,7 @@ def decrypt(private_key: ElGamalPrivateKey, ciphertext: ElGamalCiphertext) -> in
         raise KeyError_("ciphertext was produced under a different key")
     instrumentation.record("elgamal.decrypt")
     p = private_key.public_key.group.p
-    shared = pow(ciphertext.c1, private_key.x, p)
+    shared = powmod(ciphertext.c1, private_key.x, p)
     return ciphertext.c2 * modinv(shared, p) % p
 
 
@@ -148,8 +160,8 @@ def encrypt_exponential(
         raise EncryptionError("exponential ElGamal message out of range")
     instrumentation.record("elgamal.encrypt_exponential")
     r = _fresh_nonce(group.q)
-    c1 = pow(public_key.g, r, group.p)
-    c2 = pow(public_key.g, message, group.p) * pow(public_key.h, r, group.p)
+    c1 = powmod(public_key.g, r, group.p)
+    c2 = powmod(public_key.g, message, group.p) * powmod(public_key.h, r, group.p)
     return ElGamalCiphertext(c1, c2 % group.p, public_key)
 
 
@@ -164,7 +176,7 @@ def scalar_multiply(a: ElGamalCiphertext, scalar: int) -> ElGamalCiphertext:
     group = a.public_key.group
     scalar %= group.q
     return ElGamalCiphertext(
-        pow(a.c1, scalar, group.p), pow(a.c2, scalar, group.p), a.public_key
+        powmod(a.c1, scalar, group.p), powmod(a.c2, scalar, group.p), a.public_key
     )
 
 
@@ -181,7 +193,7 @@ def decrypt_exponential(
     instrumentation.record("elgamal.decrypt_exponential")
     p = private_key.public_key.group.p
     g = private_key.public_key.g
-    shared = pow(ciphertext.c1, private_key.x, p)
+    shared = powmod(ciphertext.c1, private_key.x, p)
     target = ciphertext.c2 * modinv(shared, p) % p
     m = _baby_step_giant_step(g, target, p, max_message)
     if m is None:
@@ -201,7 +213,7 @@ def _baby_step_giant_step(g: int, target: int, p: int, bound: int) -> int | None
     for j in range(step):
         baby.setdefault(value, j)
         value = value * g % p
-    giant_stride = modinv(pow(g, step, p), p)
+    giant_stride = modinv(powmod(g, step, p), p)
     gamma = target
     for i in range(step + 1):
         if gamma in baby:

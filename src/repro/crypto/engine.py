@@ -46,6 +46,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.crypto import backend as _backend
 from repro.crypto import commutative, hybrid, instrumentation, paillier
 from repro.crypto.homomorphic import AdditiveHomomorphicScheme, PaillierScheme
 from repro.crypto.polynomial import EncryptedPolynomial
@@ -60,8 +61,35 @@ DEFAULT_THRESHOLD = 8
 #: Chunks submitted per worker; >1 smooths imbalance between chunks.
 _CHUNKS_PER_WORKER = 4
 
+#: Shared-base batches at least this large amortise building a
+#: per-batch :class:`FixedBaseTable` on the pure-Python backend.
+_FIXED_BASE_MIN_BATCH = 8
+
 _WORKERS_ENV = "REPRO_CRYPTO_WORKERS"
 _THRESHOLD_ENV = "REPRO_CRYPTO_THRESHOLD"
+
+#: Memory budget for fixed-base precomputation tables, in MiB.
+FIXED_BASE_BUDGET_ENV = "REPRO_FIXED_BASE_MAX_MB"
+
+#: Default fixed-base budget: generous for per-key tables (~200 KiB at
+#: 2048 bits) while refusing pathological window/bit combinations.
+DEFAULT_FIXED_BASE_MAX_MB = 64
+
+
+def fixed_base_budget_bytes() -> int:
+    """The fixed-base table budget from ``REPRO_FIXED_BASE_MAX_MB``."""
+    raw = os.environ.get(FIXED_BASE_BUDGET_ENV, "").strip()
+    if not raw:
+        return DEFAULT_FIXED_BASE_MAX_MB * 1024 * 1024
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        raise ParameterError(
+            f"{FIXED_BASE_BUDGET_ENV} must be a number, got {raw!r}"
+        ) from None
+    if megabytes < 0:
+        raise ParameterError(f"{FIXED_BASE_BUDGET_ENV} must be non-negative")
+    return int(megabytes * 1024 * 1024)
 
 
 # ---------------------------------------------------------------------------
@@ -76,6 +104,8 @@ def _run_chunk(
     shared: Any,
     chunk: list,
     trace: dict | None = None,
+    backend_name: str | None = None,
+    chunk_fn: "Callable[[Any, list], list] | None" = None,
 ) -> tuple[list, dict[str, int], list[dict]]:
     """Execute ``unit`` over ``chunk`` in a worker, counting primitives.
 
@@ -84,28 +114,49 @@ def _run_chunk(
     span under that parent and ships it back for the driver's tracer to
     adopt — pool workers thereby appear in the distributed trace exactly
     like remote endpoints do.
+
+    ``backend_name`` pins the worker's bigint backend to the driver's
+    (fresh pool processes would otherwise re-resolve from the
+    environment, which can disagree with a programmatically installed
+    backend).  ``chunk_fn`` is an optional whole-chunk fast path
+    ``(shared, chunk) -> results`` that replaces the per-item loop —
+    used for batched exponentiation where the backend has list forms.
     """
+
+    def _execute() -> list:
+        if chunk_fn is not None:
+            return chunk_fn(shared, chunk)
+        return [unit(shared, item) for item in chunk]
+
     spans: list[dict] = []
-    with instrumentation.count_primitives() as counter:
-        if trace is None:
-            results = [unit(shared, item) for item in chunk]
-        else:
-            worker_tracer = Tracer(trace_id=trace["trace_id"])
-            parent = SpanContext(
-                trace_id=trace["trace_id"], span_id=trace["span_id"]
-            )
-            with worker_tracer.span(
-                "crypto:chunk",
-                trace["party"],
-                parent=parent,
-                attributes={
-                    "kind": "crypto",
-                    "items": len(chunk),
-                    "pid": os.getpid(),
-                },
-            ):
-                results = [unit(shared, item) for item in chunk]
-            spans = [span.to_dict() for span in worker_tracer.spans]
+    previous_backend = (
+        None if backend_name is None else _backend.set_backend(backend_name)
+    )
+    try:
+        with instrumentation.count_primitives() as counter:
+            if trace is None:
+                results = _execute()
+            else:
+                worker_tracer = Tracer(trace_id=trace["trace_id"])
+                parent = SpanContext(
+                    trace_id=trace["trace_id"], span_id=trace["span_id"]
+                )
+                with worker_tracer.span(
+                    "crypto:chunk",
+                    trace["party"],
+                    parent=parent,
+                    attributes={
+                        "kind": "crypto",
+                        "items": len(chunk),
+                        "pid": os.getpid(),
+                        "backend": _backend.active_backend().name,
+                    },
+                ):
+                    results = _execute()
+                spans = [span.to_dict() for span in worker_tracer.spans]
+    finally:
+        if backend_name is not None:
+            _backend.set_backend(previous_backend)
     return results, dict(counter.counts), spans
 
 
@@ -115,7 +166,39 @@ def _unit_call(func: Callable, item: tuple) -> Any:
 
 def _unit_pow(shared: tuple[int, int], base: int) -> int:
     exponent, modulus = shared
-    return pow(base, exponent, modulus)
+    return _backend.active_backend().powmod(base, exponent, modulus)
+
+
+def _chunk_pow(shared: tuple[int, int], chunk: list) -> list[int]:
+    """Whole-chunk shared-exponent batch via the backend's list form."""
+    exponent, modulus = shared
+    return _backend.active_backend().powmod_base_list(chunk, exponent, modulus)
+
+
+def _unit_pow_shared_base(shared: tuple[int, int, int], exponent: int) -> int:
+    base, modulus, _ = shared
+    return _backend.active_backend().powmod(base, exponent, modulus)
+
+
+def _chunk_pow_shared_base(shared: tuple[int, int, int], chunk: list) -> list[int]:
+    """Whole-chunk shared-base batch.
+
+    The native backend exponentiates through its list form (pre-cast
+    ``mpz`` base/modulus, or gmpy2's C-level ``powmod_exp_list``); the
+    Python backend amortises a windowed :class:`FixedBaseTable` over the
+    chunk once it is large enough, subject to the fixed-base memory
+    budget (over-budget tables degrade to the plain ladder, counted as
+    a skip by :meth:`FixedBaseTable.build`).
+    """
+    base, modulus, max_exponent_bits = shared
+    backend = _backend.active_backend()
+    if backend.name != "python":
+        return backend.powmod_exp_list(base, chunk, modulus)
+    if len(chunk) >= _FIXED_BASE_MIN_BATCH:
+        table = FixedBaseTable.build(base, modulus, max_exponent_bits)
+        if table is not None:
+            return [table.pow(exponent) for exponent in chunk]
+    return [pow(base, exponent, modulus) for exponent in chunk]
 
 
 def _unit_commutative(shared: tuple, value: int) -> int:
@@ -129,7 +212,7 @@ def _unit_commutative(shared: tuple, value: int) -> int:
     if not member:
         raise ParameterError("input is not in the quadratic-residue domain")
     instrumentation.record(record_op)
-    return pow(value, exponent, group.p)
+    return _backend.active_backend().powmod(value, exponent, group.p)
 
 
 def _unit_paillier_encrypt(shared: Any, item: tuple) -> Any:
@@ -193,9 +276,45 @@ class FixedBaseTable:
     the table cost (``ceil(bits/window) * 2^window`` multiplications,
     ~``2^window * bits / window * |modulus|/8`` bytes of memory) has
     amortised over a few exponentiations.
+
+    Memory is bounded: construction refuses tables whose
+    :meth:`estimate_size_bytes` exceeds the ``REPRO_FIXED_BASE_MAX_MB``
+    budget (default 64 MiB).  Callers that can degrade gracefully use
+    :meth:`build`, which turns the refusal into a counted skip and a
+    ``None`` table instead of an exception.
     """
 
     __slots__ = ("base", "modulus", "window", "max_exponent_bits", "_rows")
+
+    @staticmethod
+    def estimate_size_bytes(
+        modulus: int, max_exponent_bits: int, window: int = 5
+    ) -> int:
+        """Predicted :meth:`size_bytes` without building the table."""
+        entry = (modulus.bit_length() + 7) // 8
+        rows = math.ceil(max(1, max_exponent_bits) / max(1, window))
+        return rows * (1 << window) * entry
+
+    @classmethod
+    def build(
+        cls,
+        base: int,
+        modulus: int,
+        max_exponent_bits: int,
+        window: int = 5,
+    ) -> "FixedBaseTable | None":
+        """Budget-checked construction: ``None`` when over budget.
+
+        The skip is counted (``fixedbase.skip`` via the primitive
+        instrumentation, surfacing in
+        ``repro_crypto_primitive_ops_total``) so sizing problems are
+        observable instead of silent slowdowns.
+        """
+        estimate = cls.estimate_size_bytes(modulus, max_exponent_bits, window)
+        if estimate > fixed_base_budget_bytes():
+            instrumentation.record("fixedbase.skip")
+            return None
+        return cls(base, modulus, max_exponent_bits, window)
 
     def __init__(
         self,
@@ -210,6 +329,13 @@ class FixedBaseTable:
             raise ParameterError("fixed-base window must be in [1, 16]")
         if max_exponent_bits < 1:
             raise ParameterError("max_exponent_bits must be positive")
+        estimate = self.estimate_size_bytes(modulus, max_exponent_bits, window)
+        budget = fixed_base_budget_bytes()
+        if estimate > budget:
+            raise ParameterError(
+                f"fixed-base table would need ~{estimate} bytes, over the "
+                f"{FIXED_BASE_BUDGET_ENV} budget of {budget} bytes"
+            )
         self.base = base % modulus
         self.modulus = modulus
         self.window = window
@@ -278,8 +404,10 @@ class PaillierNonceCache:
         self.subset_size = subset_size
         n = public_key.n
         n_sq = public_key.n_squared
+        active = _backend.active_backend()
         self._powers = [
-            pow(paillier.random_unit(n), n, n_sq) for _ in range(pool_size)
+            active.powmod(paillier.random_unit(n), n, n_sq)
+            for _ in range(pool_size)
         ]
         self._sampler = secrets.SystemRandom()
 
@@ -331,7 +459,11 @@ class CryptoEngine:
     before the pool engages.  ``legacy``: reproduce the pre-engine
     primitive choices (serial loops, Euler-criterion membership,
     Carmichael Paillier decryption, full-exponent RSA) — the baseline
-    leg of the parallel-crypto benchmark.
+    leg of the parallel-crypto benchmark.  ``backend``: a bigint backend
+    (instance or ``auto``/``python``/``gmpy2`` selector) pinned for
+    every batch this engine runs, in the driver process and in pool
+    workers alike; ``None`` follows the process-wide installed backend
+    (:func:`repro.crypto.backend.active_backend`).
     """
 
     def __init__(
@@ -339,12 +471,14 @@ class CryptoEngine:
         workers: int | None = None,
         threshold: int | None = None,
         legacy: bool = False,
+        backend: "_backend.CryptoBackend | str | None" = None,
     ) -> None:
         self.workers = workers_from_env() if workers is None else max(0, workers)
         self.threshold = (
             _threshold_from_env() if threshold is None else max(1, threshold)
         )
         self.legacy = legacy
+        self._backend = None if backend is None else _backend.resolve_backend(backend)
         self._pool: ProcessPoolExecutor | None = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -354,6 +488,15 @@ class CryptoEngine:
         if self.legacy:
             return "legacy"
         return "pooled" if self.workers >= 2 else "serial"
+
+    @property
+    def backend(self) -> _backend.CryptoBackend:
+        """The bigint backend this engine's batches run under."""
+        return self._backend if self._backend is not None else _backend.active_backend()
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -378,17 +521,26 @@ class CryptoEngine:
         return not self.legacy and self.workers >= 2 and size >= self.threshold
 
     def _run(
-        self, unit: Callable[[Any, Any], Any], shared: Any, items: Sequence
+        self,
+        unit: Callable[[Any, Any], Any],
+        shared: Any,
+        items: Sequence,
+        chunk_fn: "Callable[[Any, list], list] | None" = None,
     ) -> list:
         items = list(items)
         name = unit.__name__.replace("_unit_", "", 1)
         party = self._ambient_party()
+        backend = self.backend
         with tracing.span(
             f"crypto:{name}", party,
             kind="crypto", items=len(items), mode=self.mode,
+            backend=backend.name,
         ) as batch_span:
             if not self._use_pool(len(items)):
-                return [unit(shared, item) for item in items]
+                with _backend.use_backend(backend):
+                    if chunk_fn is not None and not self.legacy:
+                        return chunk_fn(shared, items)
+                    return [unit(shared, item) for item in items]
             trace = None
             if batch_span is not None:
                 trace = {
@@ -402,7 +554,8 @@ class CryptoEngine:
             )
             futures = [
                 pool.submit(
-                    _run_chunk, unit, shared, items[start:start + chunk], trace
+                    _run_chunk, unit, shared, items[start:start + chunk],
+                    trace, backend.name, chunk_fn,
                 )
                 for start in range(0, len(items), chunk)
             ]
@@ -435,8 +588,32 @@ class CryptoEngine:
     def batch_pow(
         self, bases: Sequence[int], exponent: int, modulus: int
     ) -> list[int]:
-        """``[pow(b, exponent, modulus) for b in bases]``, possibly pooled."""
-        return self._run(_unit_pow, (exponent, modulus), bases)
+        """``[pow(b, exponent, modulus) for b in bases]``, possibly pooled.
+
+        Shared-exponent batches run through the backend's list form
+        (:meth:`~repro.crypto.backend.CryptoBackend.powmod_base_list`),
+        which hoists the exponent/modulus casts out of the loop on the
+        native backend.
+        """
+        return self._run(_unit_pow, (exponent, modulus), bases, _chunk_pow)
+
+    def batch_pow_shared_base(
+        self, base: int, exponents: Sequence[int], modulus: int
+    ) -> list[int]:
+        """``[pow(base, e, modulus) for e in exponents]``, possibly pooled.
+
+        The shared-base dual of :meth:`batch_pow` — the shape of
+        fixed-generator workloads (``g^r`` floods).  The native backend
+        uses its list form; the Python backend amortises a windowed
+        fixed-base table over each chunk (within the
+        ``REPRO_FIXED_BASE_MAX_MB`` budget).
+        """
+        exponents = list(exponents)
+        max_bits = max((e.bit_length() for e in exponents), default=1)
+        shared = (base, modulus, max(1, max_bits))
+        return self._run(
+            _unit_pow_shared_base, shared, exponents, _chunk_pow_shared_base
+        )
 
     def batch_commutative_encrypt(
         self,

@@ -9,6 +9,13 @@ cryptosystem in :mod:`repro.crypto`:
 * prime and *safe prime* generation (p = 2q + 1 with q prime),
 * modular inverses, CRT recombination, Jacobi symbols,
 * Tonelli-Shanks square roots modulo a prime.
+
+The arithmetic itself (modular exponentiation, inversion, Jacobi
+symbols, primality) routes through the installed bigint backend
+(:mod:`repro.crypto.backend`), so every caller of :func:`powmod`,
+:func:`modinv`, :func:`jacobi`, or :func:`is_probable_prime` gains
+native-speed GMP arithmetic when the ``gmpy2`` backend is active —
+without changing results: backends are proven bit-identical.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import math
 import secrets
 
+from repro.crypto import backend as _backend
 from repro.errors import ParameterError
 
 # Small primes used for cheap trial division before Miller-Rabin.
@@ -31,39 +39,26 @@ _SMALL_PRIMES: tuple[int, ...] = (
 DEFAULT_MR_ROUNDS = 40
 
 
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """``base^exponent mod modulus`` via the installed bigint backend.
+
+    The single hot-path entry point for the whole crypto package —
+    commutative, Paillier, RSA, and ElGamal all exponentiate through
+    here, so selecting the gmpy2 backend accelerates every protocol at
+    once.
+    """
+    return _backend.active_backend().powmod(base, exponent, modulus)
+
+
 def is_probable_prime(n: int, rounds: int = DEFAULT_MR_ROUNDS) -> bool:
     """Return True if ``n`` is prime with overwhelming probability.
 
-    Uses trial division by small primes followed by ``rounds`` iterations
-    of Miller-Rabin with random bases.  For ``n`` below the largest small
-    prime squared the answer is exact.
+    The Python backend uses trial division by small primes followed by
+    ``rounds`` iterations of Miller-Rabin with random bases (exact for
+    ``n`` below the largest small prime squared); the native backend
+    uses gmpy2's BPSW + Miller-Rabin test.
     """
-    if n < 2:
-        return False
-    for p in _SMALL_PRIMES:
-        if n % p == 0:
-            return n == p
-    if n < _SMALL_PRIMES[-1] ** 2:
-        return True
-
-    d = n - 1
-    r = 0
-    while d % 2 == 0:
-        d //= 2
-        r += 1
-
-    for _ in range(rounds):
-        a = 2 + secrets.randbelow(n - 3)
-        x = pow(a, d, n)
-        if x in (1, n - 1):
-            continue
-        for _ in range(r - 1):
-            x = x * x % n
-            if x == n - 1:
-                break
-        else:
-            return False
-    return True
+    return _backend.active_backend().is_probable_prime(n, rounds)
 
 
 def generate_prime(bits: int, rounds: int = DEFAULT_MR_ROUNDS) -> int:
@@ -119,10 +114,7 @@ def modinv(a: int, m: int) -> int:
 
     Raises :class:`ParameterError` when ``gcd(a, m) != 1``.
     """
-    try:
-        return pow(a, -1, m)
-    except ValueError as exc:
-        raise ParameterError(f"{a} is not invertible modulo {m}") from exc
+    return _backend.active_backend().invert(a, m)
 
 
 def lcm(a: int, b: int) -> int:
@@ -146,18 +138,7 @@ def jacobi(a: int, n: int) -> int:
     """Jacobi symbol (a / n) for odd ``n > 0``; returns -1, 0, or 1."""
     if n <= 0 or n % 2 == 0:
         raise ParameterError("Jacobi symbol requires odd positive n")
-    a %= n
-    result = 1
-    while a:
-        while a % 2 == 0:
-            a //= 2
-            if n % 8 in (3, 5):
-                result = -result
-        a, n = n, a
-        if a % 4 == 3 and n % 4 == 3:
-            result = -result
-        a %= n
-    return result if n == 1 else 0
+    return _backend.active_backend().jacobi(a, n)
 
 
 def is_quadratic_residue(a: int, p: int) -> bool:
@@ -165,7 +146,7 @@ def is_quadratic_residue(a: int, p: int) -> bool:
     a %= p
     if a == 0:
         return False
-    return pow(a, (p - 1) // 2, p) == 1
+    return powmod(a, (p - 1) // 2, p) == 1
 
 
 def sqrt_mod_prime(a: int, p: int) -> int:
@@ -183,7 +164,7 @@ def sqrt_mod_prime(a: int, p: int) -> int:
     if not is_quadratic_residue(a, p):
         raise ParameterError(f"{a} is not a quadratic residue mod {p}")
     if p % 4 == 3:
-        return pow(a, (p + 1) // 4, p)
+        return powmod(a, (p + 1) // 4, p)
 
     # Write p - 1 = q * 2^s with q odd.
     q, s = p - 1, 0
@@ -194,14 +175,14 @@ def sqrt_mod_prime(a: int, p: int) -> int:
     z = 2
     while is_quadratic_residue(z, p):
         z += 1
-    m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+    m, c, t, r = s, powmod(z, q, p), powmod(a, q, p), powmod(a, (q + 1) // 2, p)
     while t != 1:
         # Find least i in (0, m) with t^(2^i) = 1.
         i, t2 = 0, t
         while t2 != 1:
             t2 = t2 * t2 % p
             i += 1
-        b = pow(c, 1 << (m - i - 1), p)
+        b = powmod(c, 1 << (m - i - 1), p)
         m, c = i, b * b % p
         t, r = t * c % p, r * b % p
     return r

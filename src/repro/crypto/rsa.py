@@ -26,6 +26,7 @@ from repro.crypto.numtheory import (
     generate_prime,
     int_to_bytes,
     modinv,
+    powmod,
 )
 from repro.errors import DecryptionError, EncryptionError, ParameterError
 
@@ -79,10 +80,10 @@ def private_pow(private_key: RSAPrivateKey, value: int, use_crt: bool = True) ->
     an equivalence reference in tests).
     """
     if not use_crt:
-        return pow(value, private_key.d, private_key.n)
+        return powmod(value, private_key.d, private_key.n)
     d_p, d_q, q_inv = _crt_exponents(private_key.d, private_key.p, private_key.q)
-    m_p = pow(value % private_key.p, d_p, private_key.p)
-    m_q = pow(value % private_key.q, d_q, private_key.q)
+    m_p = powmod(value % private_key.p, d_p, private_key.p)
+    m_q = powmod(value % private_key.q, d_q, private_key.q)
     return m_q + (m_p - m_q) * q_inv % private_key.p * private_key.q
 
 
@@ -135,7 +136,7 @@ def oaep_encrypt(public_key: RSAPublicKey, message: bytes) -> bytes:
     masked_db = _xor(data_block, _mgf1(seed, k - _HASH_LEN - 1))
     masked_seed = _xor(seed, _mgf1(masked_db, _HASH_LEN))
     encoded = b"\x00" + masked_seed + masked_db
-    return int_to_bytes(pow(bytes_to_int(encoded), public_key.e, public_key.n), k)
+    return int_to_bytes(powmod(bytes_to_int(encoded), public_key.e, public_key.n), k)
 
 
 def oaep_decrypt(
@@ -199,7 +200,7 @@ def pss_verify(public_key: RSAPublicKey, message: bytes, signature: bytes) -> bo
         return False
     em_bits = public_key.n.bit_length() - 1
     em_len = (em_bits + 7) // 8
-    encoded = int_to_bytes(pow(value, public_key.e, public_key.n), em_len)
+    encoded = int_to_bytes(powmod(value, public_key.e, public_key.n), em_len)
     if encoded[-1] != 0xBC:
         return False
     masked_db = encoded[:em_len - _HASH_LEN - 1]

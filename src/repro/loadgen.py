@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.core.federation import Federation
-from repro.core.runner import PROTOCOLS, run_join_query
+from repro.core.runner import PROTOCOLS, crypto_context, run_join_query
 from repro.errors import ProtocolError, ReproError
 from repro.mediation.access_control import allow_all
 from repro.mediation.ca import CertificationAuthority
@@ -140,6 +140,9 @@ class LoadReport:
     #: Aggregated index-cache statistics when the load ran over a
     #: storage backend (None otherwise).
     storage: dict[str, Any] | None = None
+    #: Crypto self-description: bigint backend, engine mode, workers —
+    #: makes the JSON report comparable across hosts and backends.
+    crypto: dict[str, Any] | None = None
 
     # -- derived metrics ---------------------------------------------------
 
@@ -189,6 +192,7 @@ class LoadReport:
             "consistent_results": self.consistent,
             "stitching": self.stitching,
             "storage": self.storage,
+            "crypto": self.crypto,
             "outcomes": [
                 {
                     "session": outcome.session,
@@ -224,6 +228,12 @@ class LoadReport:
             lines.append(
                 f"  stitching  {len(self.stitching)} sessions, "
                 f"{spans} client spans, {endpoint} endpoint spans"
+            )
+        if self.crypto is not None:
+            lines.append(
+                f"  crypto     backend={self.crypto['backend']} "
+                f"mode={self.crypto['engine_mode']} "
+                f"workers={self.crypto['workers']}"
             )
         if self.storage is not None:
             lines.append(
@@ -334,6 +344,7 @@ def run_load(
             outcomes=[outcome for outcomes in per_worker for outcome in outcomes],
         )
         report.stitching = _stitch(tracer, workers, hub)
+        report.crypto = crypto_context()
         if storage is not None:
             totals = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
             for worker in workers:
