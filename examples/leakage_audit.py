@@ -5,9 +5,14 @@ mediator/client views, audits the primitive counters for Table 2, checks
 Listing 1-4 flow conformance and the Figure 1/2 star topology, and scans
 the mediator's received bytes for plaintext tuples.
 
-It finishes by demonstrating *why* the paper's client setting matters:
-in the insecure mediator-setting DAS baseline the very same scan finds
-the partition contents (join-attribute values) in the mediator's view.
+It then demonstrates *why* the paper's client setting matters: in the
+insecure mediator-setting DAS baseline the very same scan finds the
+partition contents (join-attribute values) in the mediator's view.
+
+It finishes with the differential audit: the same query over a seeded
+workload and its adjacent twin (one join value moved), printing the
+per-adversary observable-distance summary — Table 1 as a measurement
+rather than an inventory (docs/security.md, "Measured leakage").
 
 Run:  python examples/leakage_audit.py [--storage memory|sqlite:PATH]
 
@@ -35,6 +40,12 @@ from repro.analysis import (
     table2,
     verify_no_plaintext_leak,
 )
+from repro.analysis.audit import (
+    AuditConfig,
+    differential_audit,
+    render_audit_summary,
+)
+from repro.relational.datagen import WorkloadSpec
 from repro.mediation.access_control import allow_all
 from repro.mediation.client import default_homomorphic_scheme
 from repro.relational.datagen import medical_workload
@@ -115,6 +126,33 @@ def main() -> None:
     print(
         "\n=> exactly the paper's warning: 'it is crucial to encrypt the "
         "index table and let the query translator reside on client side'"
+    )
+    # Table 1 as a measurement: how far does each adversary's observable
+    # view move when the input moves by one tuple?
+    print("\n--- differential audit: adjacent workloads, every adversary ---")
+    document = differential_audit(
+        AuditConfig(
+            spec=WorkloadSpec(
+                domain_1=6,
+                domain_2=6,
+                overlap=3,
+                rows_per_value_1=1,
+                rows_per_value_2=1,
+                seed=11,
+            )
+        )
+    )
+    perturbation = document["workload"]["perturbation"]
+    print(
+        f"perturbation: {perturbation['rows_rewritten']} row(s) of "
+        f"{perturbation['relation']} moved "
+        f"{perturbation['replaced_value']} -> {perturbation['replacement']}\n"
+    )
+    print(render_audit_summary(document))
+    print(
+        "\n=> the DAS mediator sees the largest cardinality movement "
+        "(|R_C|), private matching moves nothing the mediator can count "
+        "-- the measured form of Table 1's ordering"
     )
     if storage is not None:
         storage.close()

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""CI leakage-regression gate over the committed ``repro-leakage/1`` baseline.
+
+``repro audit --differential`` (and ``benchmarks/bench_table1_leakage.py``)
+emit a deterministic leakage artifact: per protocol and per adversary,
+explicit distances between the observable distributions of two adjacent
+workloads (see ``docs/observability.md``).  This gate compares a fresh
+candidate artifact against the committed baseline
+(``benchmarks/baselines/BENCH_leakage_audit.json``) exactly like the
+perf gate compares bench numbers — the tolerance machinery *is*
+:mod:`check_perf_regression`'s, extended with the absolute ``slack``
+term leakage rules rely on (a zero-distance baseline must still admit
+noise-free integer deltas of a couple of messages).
+
+Gate policy comes from the **baseline** (the committed file is the
+contract).  Metrics are flattened to ``protocol/adversary/metric`` keys;
+a gated key missing from the candidate fails the build.
+
+Usage (what the ``leakage-gate`` CI job runs)::
+
+    python scripts/check_leakage_regression.py \
+        --baseline benchmarks/baselines/BENCH_leakage_audit.json \
+        --candidate benchmarks/out/BENCH_leakage_audit.json
+
+The job also re-runs the audit with the deliberately size-leaking
+canary transport (``repro audit --differential --canary``) and checks
+the gate *fails* on it (``--expect-fail``): a leakage gate that cannot
+detect a planted size channel is vacuous.
+
+Exit codes: 0 gate passed (or, with ``--expect-fail``, failed as
+expected), 1 regression (or unexpected canary pass), 2 usage/parse
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from check_perf_regression import GateError, check_metric  # noqa: E402
+
+SCHEMA = "repro-leakage/1"
+
+
+def load_leakage(path: pathlib.Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: unreadable leakage artifact: {exc}") from exc
+    if document.get("schema") != SCHEMA:
+        raise GateError(
+            f"{path}: expected schema {SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    for key in ("transport", "protocols", "gate"):
+        if key not in document:
+            raise GateError(f"{path}: missing {key!r}")
+    return document
+
+
+def flatten_distances(document: dict) -> dict[str, float]:
+    """``protocol/adversary/metric`` -> distance value."""
+    flat: dict[str, float] = {}
+    for protocol, entry in document["protocols"].items():
+        for adversary, audit in entry.get("adversaries", {}).items():
+            for metric, value in audit.get("distances", {}).items():
+                flat[f"{protocol}/{adversary}/{metric}"] = float(value)
+    return flat
+
+
+def compare(baseline_doc: dict, candidate_doc: dict) -> tuple[bool, list[str]]:
+    if candidate_doc["transport"] != baseline_doc["transport"]:
+        raise GateError(
+            f"transport mismatch: baseline {baseline_doc['transport']!r} "
+            f"vs candidate {candidate_doc['transport']!r}"
+        )
+    if candidate_doc.get("workload") != baseline_doc.get("workload"):
+        raise GateError(
+            "workload mismatch: baseline and candidate audited different "
+            "inputs; regenerate the baseline"
+        )
+    gate = baseline_doc["gate"]
+    base = flatten_distances(baseline_doc)
+    candidate = flatten_distances(candidate_doc)
+    lines: list[str] = []
+    all_passed = True
+    for name in sorted(gate):
+        if name not in base:
+            raise GateError(f"gated distance {name!r} missing from baseline")
+        if name not in candidate:
+            all_passed = False
+            lines.append(f"  FAIL {name:52s} missing from candidate run")
+            continue
+        passed, line = check_metric(name, gate[name], base[name], candidate[name])
+        all_passed &= passed
+        lines.append(line)
+    for name in sorted(set(candidate) - set(gate)):
+        lines.append(
+            f"  info {name:52s} candidate {candidate[name]:>10g}  (ungated)"
+        )
+    return all_passed, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, type=pathlib.Path,
+        help="committed repro-leakage/1 baseline artifact",
+    )
+    parser.add_argument(
+        "--candidate", required=True, type=pathlib.Path,
+        help="freshly measured repro-leakage/1 artifact",
+    )
+    parser.add_argument(
+        "--expect-fail", action="store_true",
+        help="invert the verdict: exit 0 only when the gate FAILS "
+             "(the seeded-canary check)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline_doc = load_leakage(args.baseline)
+        if not args.candidate.exists():
+            print(f"candidate artifact {args.candidate} missing", file=sys.stderr)
+            return 1
+        candidate_doc = load_leakage(args.candidate)
+        passed, lines = compare(baseline_doc, candidate_doc)
+    except GateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"leakage gate ({baseline_doc['transport']} transport):")
+    print("\n".join(lines))
+    if args.expect_fail:
+        if passed:
+            print(
+                "\nleakage gate: PASSED but was expected to fail — the "
+                "canary leak went undetected"
+            )
+            return 1
+        print("\nleakage gate: failed as expected (canary detected)")
+        return 0
+    if not passed:
+        print("\nleakage gate: observable distances regressed")
+        return 1
+    print("\nleakage gate: all distances within the committed envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,15 +57,22 @@ def load_bench(path: pathlib.Path) -> dict:
 def check_metric(
     name: str, rule: dict, baseline: float, candidate: float
 ) -> tuple[bool, str]:
-    """Apply one gate rule; returns (passed, human verdict line)."""
+    """Apply one gate rule; returns (passed, human verdict line).
+
+    A rule may add an absolute ``slack`` on top of the relative
+    tolerance (``bound = baseline * (1 ± tolerance) ± slack``) so a
+    zero-valued baseline — common for leakage distances — does not make
+    the gate infinitely strict.
+    """
     direction = rule.get("direction")
     tolerance = float(rule.get("tolerance", 0.0))
+    slack = float(rule.get("slack", 0.0))
     if direction == "max":
-        bound = baseline * (1.0 + tolerance)
+        bound = baseline * (1.0 + tolerance) + slack
         passed = candidate <= bound
         relation = f"<= {bound:g}"
     elif direction == "min":
-        bound = baseline * (1.0 - tolerance)
+        bound = baseline * (1.0 - tolerance) - slack
         passed = candidate >= bound
         relation = f">= {bound:g}"
     else:
@@ -132,9 +139,21 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     failures = 0
+    compared = 0
     try:
         for baseline_path in baselines:
+            # Sibling artifact families (the repro-leakage/1 baseline of
+            # check_leakage_regression.py) share the BENCH_ prefix; this
+            # gate only judges repro-bench/1 documents.
+            try:
+                schema = json.loads(baseline_path.read_text()).get("schema")
+            except (OSError, json.JSONDecodeError) as exc:
+                raise GateError(f"{baseline_path}: unreadable: {exc}") from exc
+            if schema != SCHEMA:
+                print(f"skipping {baseline_path.name} (schema {schema!r})")
+                continue
             baseline_doc = load_bench(baseline_path)
+            compared += 1
             candidate_path = args.candidate / baseline_path.name
             print(f"{baseline_doc['bench']}:")
             if not candidate_path.exists():
@@ -158,7 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         print(f"\nperf gate: {failures} bench(es) regressed")
         return 1
-    print(f"\nperf gate: all {len(baselines)} bench(es) within tolerance")
+    if not compared:
+        print("\nperf gate: no repro-bench/1 baselines to compare", file=sys.stderr)
+        return 2
+    print(f"\nperf gate: all {compared} bench(es) within tolerance")
     return 0
 
 

@@ -2,6 +2,8 @@
 
 * :mod:`~repro.analysis.views` — party-view byte material and roles
 * :mod:`~repro.analysis.leakage` — Table 1 from actual transcripts
+* :mod:`~repro.analysis.audit` — differential leakage audit over
+  adjacent workloads (the ``repro-leakage/1`` artifact)
 * :mod:`~repro.analysis.primitives` — Table 2 from primitive counters
 * :mod:`~repro.analysis.conformance` — Listing 1-4 / Figure 1-2 checks
 * :mod:`~repro.analysis.comparison` — Section 6 performance quantities
@@ -10,6 +12,14 @@
 * :mod:`~repro.analysis.export` — JSON audit records of protocol runs
 """
 
+from repro.analysis.audit import (
+    AuditConfig,
+    adjacent_workload,
+    differential_audit,
+    render_audit_summary,
+    trace_distances,
+    write_leakage_artifact,
+)
 from repro.analysis.comparison import ComparisonRow, compare, measure, render
 from repro.analysis.export import export_run, export_run_json
 from repro.analysis.conformance import architecture_edges, check_flow
@@ -26,21 +36,27 @@ from repro.analysis.statistics import (
 )
 
 __all__ = [
+    "AuditConfig",
     "ComparisonRow",
     "LeakageReport",
     "PrimitiveProfile",
+    "adjacent_workload",
     "analyze",
     "architecture_edges",
     "check_flow",
     "commutative_tag_spread",
     "compare",
+    "differential_audit",
     "export_run",
     "export_run_json",
     "measure",
     "mediator_ciphertext_uniformity",
     "primitive_profile",
     "render",
+    "render_audit_summary",
     "table1",
+    "trace_distances",
     "table2",
     "verify_no_plaintext_leak",
+    "write_leakage_artifact",
 ]

@@ -57,10 +57,12 @@ from repro.relational.datagen import WorkloadSpec, Workload, generate
 from repro.storage import FaultyStorage, StorageBackend, storage_from_spec
 from repro.telemetry import (
     MetricsRegistry,
+    MetricsScrapeServer,
     Tracer,
     configure_logging,
     get_tracer,
     party_logger,
+    prometheus_exposition,
     use_metrics,
     use_tracer,
     write_chrome_trace,
@@ -305,6 +307,8 @@ def _command_leakage(args) -> int:
 
 
 def _command_audit(args) -> int:
+    if args.differential:
+        return _command_audit_differential(args)
     workload = _workload_from_args(args)
     federation = _build_federation(
         workload.relation_1, workload.relation_2, args.rsa_bits,
@@ -314,6 +318,48 @@ def _command_audit(args) -> int:
         federation, "select * from R1 natural join R2", protocol=args.protocol
     )
     print(export_run_json(result))
+    return 0
+
+
+def _command_audit_differential(args) -> int:
+    """``repro audit --differential``: the repro-leakage/1 artifact.
+
+    Runs every protocol over a seeded workload and its adjacent twin
+    (one tuple's join value moved), on the chosen carrier, and emits the
+    per-adversary observable-distance document the CI leakage gate
+    consumes (see docs/observability.md).
+    """
+    from repro.analysis.audit import (
+        AuditConfig,
+        differential_audit,
+        leakage_json,
+        render_audit_summary,
+        write_leakage_artifact,
+    )
+
+    spec = WorkloadSpec(
+        domain_1=args.domain,
+        domain_2=args.domain,
+        overlap=args.overlap,
+        rows_per_value_1=args.rows_per_value,
+        rows_per_value_2=args.rows_per_value,
+        seed=args.seed,
+    )
+    config = AuditConfig(
+        transport=args.transport,
+        spec=spec,
+        rsa_bits=args.rsa_bits,
+        paillier_bits=args.paillier_bits,
+        canary=args.canary,
+        include_timing=args.include_timing,
+    )
+    document = differential_audit(config)
+    if args.out:
+        write_leakage_artifact(args.out, document)
+        print(render_audit_summary(document))
+        print(f"leakage artifact written to {args.out}", file=sys.stderr)
+    else:
+        print(leakage_json(document), end="")
     return 0
 
 
@@ -440,7 +486,25 @@ def _command_serve(args) -> int:
             "%s endpoint for party %r listening on %s:%d",
             args.role, party, host, bound_port,
         )
-        await server.serve_forever()
+        scrape = None
+        if args.metrics_port is not None:
+            # Live Prometheus scrape target next to the party endpoint:
+            # renders the endpoint's own registry on every GET /metrics.
+            scrape = MetricsScrapeServer(
+                lambda: prometheus_exposition(server.registry),
+                host=args.host,
+                port=args.metrics_port,
+            )
+            scrape_host, scrape_port = await scrape.start()
+            log.info(
+                "metrics exposition at http://%s:%d/metrics",
+                scrape_host, scrape_port,
+            )
+        try:
+            await server.serve_forever()
+        finally:
+            if scrape is not None:
+                await scrape.stop()
 
     try:
         asyncio.run(_serve())
@@ -569,10 +633,36 @@ def build_parser() -> argparse.ArgumentParser:
     leakage.set_defaults(handler=_command_leakage)
 
     audit = commands.add_parser(
-        "audit", help="emit a JSON audit record of one protocol run"
+        "audit", help="emit a JSON audit record of one protocol run, or "
+        "the differential leakage audit over all protocols",
     )
     audit.add_argument(
         "--protocol", choices=sorted(PROTOCOLS), default="commutative"
+    )
+    audit.add_argument(
+        "--differential", action="store_true",
+        help="run the adjacent-workload leakage audit over every protocol "
+             "and emit the repro-leakage/1 artifact (docs/observability.md)",
+    )
+    audit.add_argument(
+        "--transport", choices=("bus", "tcp"), default="bus",
+        help="with --differential: carrier to observe (tcp hosts a local "
+             "endpoint trio in-process)",
+    )
+    audit.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="with --differential: write the artifact here and print the "
+             "distance table (default: artifact JSON to stdout)",
+    )
+    audit.add_argument(
+        "--canary", action="store_true",
+        help="with --differential: wrap the carrier in the deliberately "
+             "size-leaking LeakyTransport (the leakage gate must flag this)",
+    )
+    audit.add_argument(
+        "--include-timing", action="store_true",
+        help="with --differential: add (nondeterministic, ungated) "
+             "step-latency distances",
     )
     _add_workload_arguments(audit)
     _add_crypto_arguments(audit)
@@ -633,6 +723,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=None,
         help="listening port (default: the party's well-known demo port)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve the endpoint's metrics as a live Prometheus "
+             "scrape target (GET /metrics) on this port (0 = ephemeral)",
     )
     serve.add_argument(
         "--log-level", default=None,

@@ -25,6 +25,7 @@ from repro.relational.algebra import evaluate_above_join
 from repro.relational.relation import Relation
 from repro.session import session_scope
 from repro.telemetry import tracing
+from repro.telemetry.observables import observables_artifact
 
 #: Protocol registry: name -> (delivery function, config class).
 PROTOCOLS = {
@@ -116,6 +117,7 @@ def run_join_query(
             )
             result.artifacts["join_rows_before_postprocessing"] = join_rows
             result.artifacts["crypto"] = crypto_context(engine)
+            result.artifacts["observables"] = observables_artifact(result)
             storage_stats = _collect_storage_stats(federation)
             if storage_stats is not None:
                 result.artifacts["storage_cache"] = storage_stats

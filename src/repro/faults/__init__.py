@@ -10,6 +10,8 @@ and *where* it is enacted:
   thread-safe trigger engine shared by every injection site of a run,
 * :mod:`repro.faults.transport` — :class:`FaultyTransport`: decorator
   injecting faults above any carrier (bus or TCP),
+* :mod:`repro.faults.leaky` — :class:`LeakyTransport`: a deliberately
+  size-leaking decorator, the canary proving the CI leakage gate bites,
 * :mod:`repro.faults.proxy` — :class:`ChaosProxy`: an in-process TCP
   relay injecting faults below the carrier, at the frame level.
 
@@ -25,6 +27,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultRule,
 )
+from repro.faults.leaky import PAD_KIND, LeakyTransport
 from repro.faults.proxy import ChaosProxy
 from repro.faults.transport import FaultyTransport
 
@@ -38,4 +41,6 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultyTransport",
+    "LeakyTransport",
+    "PAD_KIND",
 ]

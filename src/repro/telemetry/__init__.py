@@ -52,6 +52,15 @@ from repro.telemetry.exporters import (
     write_metrics,
 )
 from repro.telemetry.logsetup import configure_logging, party_logger
+from repro.telemetry.observables import (
+    ObservableTrace,
+    ObservedMessage,
+    adversary_traces,
+    network_trace_from_records,
+    observables_artifact,
+    size_bucket,
+)
+from repro.telemetry.scrape import MetricsScrapeServer
 
 __all__ = [
     "PRIMITIVE_OPS_METRIC",
@@ -59,6 +68,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsScrapeServer",
+    "ObservableTrace",
+    "ObservedMessage",
+    "adversary_traces",
+    "network_trace_from_records",
+    "observables_artifact",
+    "size_bucket",
     "Span",
     "SpanContext",
     "Tracer",

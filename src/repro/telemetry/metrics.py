@@ -126,6 +126,36 @@ class Histogram:
             out.append((bound, running))
         return out
 
+    def quantile(self, fraction: float) -> float:
+        """Estimate the ``fraction``-quantile from the bucket counts.
+
+        Prometheus-style linear interpolation inside the target bucket.
+        Boundary semantics: ``fraction <= 0`` returns 0.0 (every
+        observation exceeds nothing), ``fraction >= 1`` the upper bound
+        of the highest occupied bucket; observations above the last
+        bound (the implicit +Inf bucket) clamp to the last finite bound
+        — the estimate cannot exceed what the layout can resolve.
+        An empty histogram has no quantiles and returns 0.0.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise TelemetryError(
+                f"quantile fraction must be in [0, 1], got {fraction}"
+            )
+        if self.count == 0 or fraction == 0.0:
+            return 0.0
+        rank = fraction * self.count
+        previous_bound, previous_cumulative = 0.0, 0
+        for bound, cumulative in self.cumulative():
+            if rank <= cumulative:
+                in_bucket = cumulative - previous_cumulative
+                if in_bucket == 0:
+                    return bound
+                position = (rank - previous_cumulative) / in_bucket
+                return previous_bound + position * (bound - previous_bound)
+            previous_bound, previous_cumulative = bound, cumulative
+        # rank falls in the +Inf bucket: clamp to the last finite bound.
+        return self.buckets[-1]
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 

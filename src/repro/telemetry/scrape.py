@@ -1,0 +1,109 @@
+"""A minimal asyncio HTTP endpoint serving Prometheus text exposition.
+
+``repro serve --metrics-port N`` attaches one of these next to the
+party's TCP endpoint so a long-running process can be scraped live
+(``GET /metrics``) instead of relying on ``--metrics-out`` file
+snapshots.  The exposition body is produced on every request by the
+``render`` callable — typically
+``lambda: prometheus_exposition(server.registry)`` — so the scrape
+always reflects the registry's current state.
+
+Deliberately tiny: GET-only, one response per connection, no TLS, no
+keep-alive.  That is all a Prometheus scraper needs and all a
+reproduction repo should carry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+#: Content type of the Prometheus text exposition format.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Paths answered with the exposition (anything else is 404).
+_METRIC_PATHS = ("/metrics", "/")
+
+
+class MetricsScrapeServer:
+    """Serve ``render()`` as a Prometheus scrape target."""
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and return ``(host, port)`` (port resolved when 0)."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        return self._host, self._port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers; a scraper sends few and we need none.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            writer.write(self._respond(request_line))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # a vanished scraper is not an error
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _respond(self, request_line: bytes) -> bytes:
+        parts = request_line.split()
+        if len(parts) < 2 or parts[0] != b"GET":
+            return _response(405, "text/plain", "method not allowed\n")
+        path = parts[1].split(b"?", 1)[0].decode("latin-1", "replace")
+        if path not in _METRIC_PATHS:
+            return _response(404, "text/plain", "not found\n")
+        try:
+            body = self._render()
+        except Exception as exc:  # a broken renderer must not kill the loop
+            return _response(500, "text/plain", f"render error: {exc}\n")
+        return _response(200, EXPOSITION_CONTENT_TYPE, body)
+
+
+_REASONS = {200: "OK", 404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error"}
+
+
+def _response(status: int, content_type: str, body: str) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + payload

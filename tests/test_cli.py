@@ -50,6 +50,26 @@ class TestAudit:
         assert record["protocol"] == "commutative"
         assert record["transcript"]
 
+    def test_differential_emits_leakage_artifact(self, capsys):
+        assert main(["audit", "--differential", *FAST]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-leakage/1"
+        assert document["transport"] == "bus"
+        assert set(document["protocols"]) == {
+            "commutative", "das", "private-matching",
+        }
+        assert document["gate"]
+
+    def test_differential_out_writes_file_and_summary(self, tmp_path, capsys):
+        artifact = str(tmp_path / "leakage.json")
+        assert main([
+            "audit", "--differential", "--canary", "--out", artifact, *FAST,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Differential leakage audit" in out
+        document = json.loads((tmp_path / "leakage.json").read_text())
+        assert document["canary"] is True
+
 
 class TestWorkloadAndQuery:
     def test_workload_then_query(self, tmp_path, capsys):
