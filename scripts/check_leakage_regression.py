@@ -63,6 +63,8 @@ def load_leakage(path: pathlib.Path) -> dict:
 
 def flatten_distances(document: dict) -> dict[str, float]:
     """``protocol/adversary/metric`` -> distance value."""
+    if "protocols" not in document:
+        raise GateError("leakage document is missing 'protocols'")
     flat: dict[str, float] = {}
     for protocol, entry in document["protocols"].items():
         for adversary, audit in entry.get("adversaries", {}).items():
@@ -72,16 +74,31 @@ def flatten_distances(document: dict) -> dict[str, float]:
 
 
 def compare(baseline_doc: dict, candidate_doc: dict) -> tuple[bool, list[str]]:
-    if candidate_doc["transport"] != baseline_doc["transport"]:
+    # A baseline labelled transport "any" (hardened distances are
+    # transport-independent by construction) gates candidates measured
+    # on either carrier.
+    if (
+        baseline_doc["transport"] != "any"
+        and candidate_doc["transport"] != baseline_doc["transport"]
+    ):
         raise GateError(
             f"transport mismatch: baseline {baseline_doc['transport']!r} "
             f"vs candidate {candidate_doc['transport']!r}"
+        )
+    if bool(candidate_doc.get("hardened")) != bool(baseline_doc.get("hardened")):
+        raise GateError(
+            f"hardened-flag mismatch: baseline "
+            f"hardened={bool(baseline_doc.get('hardened'))} vs candidate "
+            f"hardened={bool(candidate_doc.get('hardened'))}; compare "
+            f"like against like"
         )
     if candidate_doc.get("workload") != baseline_doc.get("workload"):
         raise GateError(
             "workload mismatch: baseline and candidate audited different "
             "inputs; regenerate the baseline"
         )
+    if "gate" not in baseline_doc:
+        raise GateError("baseline document is missing 'gate'")
     gate = baseline_doc["gate"]
     base = flatten_distances(baseline_doc)
     candidate = flatten_distances(candidate_doc)

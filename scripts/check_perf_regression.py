@@ -87,6 +87,11 @@ def check_metric(
 def compare(baseline_doc: dict, candidate_doc: dict) -> tuple[bool, list[str]]:
     lines: list[str] = []
     all_passed = True
+    for key in ("gate", "metrics"):
+        if key not in baseline_doc:
+            raise GateError(f"baseline document is missing {key!r}")
+    if "metrics" not in candidate_doc:
+        raise GateError("candidate document is missing 'metrics'")
     gate = baseline_doc["gate"]
     base_metrics = baseline_doc["metrics"]
     cand_metrics = candidate_doc["metrics"]
@@ -97,17 +102,23 @@ def compare(baseline_doc: dict, candidate_doc: dict) -> tuple[bool, list[str]]:
             all_passed = False
             lines.append(f"  FAIL {name:32s} missing from candidate run")
             continue
-        passed, line = check_metric(
-            name, gate[name],
-            float(base_metrics[name]), float(cand_metrics[name]),
-        )
+        try:
+            values = float(base_metrics[name]), float(cand_metrics[name])
+        except (TypeError, ValueError) as exc:
+            raise GateError(
+                f"gated metric {name!r} is not numeric "
+                f"(baseline {base_metrics[name]!r}, "
+                f"candidate {cand_metrics[name]!r})"
+            ) from exc
+        passed, line = check_metric(name, gate[name], *values)
         all_passed &= passed
         lines.append(line)
     for name in sorted(set(cand_metrics) - set(gate)):
-        lines.append(
-            f"  info {name:32s} candidate {float(cand_metrics[name]):>10g}"
-            "  (ungated)"
-        )
+        try:
+            rendered = f"{float(cand_metrics[name]):>10g}"
+        except (TypeError, ValueError):
+            rendered = repr(cand_metrics[name])
+        lines.append(f"  info {name:32s} candidate {rendered}  (ungated)")
     return all_passed, lines
 
 

@@ -59,6 +59,37 @@ DEFAULT_GATE_RULES: dict[str, dict[str, float | str]] = {
     "max_cardinality_delta": {"direction": "max", "tolerance": 0.0, "slack": 4.0},
 }
 
+#: Epsilon for hardened-mode TV distances: the hardened envelope is
+#: "indistinguishable up to rounding", not "within today's leakage".
+HARDENED_EPSILON = 0.01
+
+#: Gate policy for hardened audits: TV distances at most epsilon, every
+#: count/bucket/cardinality delta exactly zero.  This is the mechanical
+#: success criterion of the oblivious mode — see docs/security.md
+#: ("Hardened mode").
+HARDENED_GATE_RULES: dict[str, dict[str, float | str]] = {
+    "messages_tv": {
+        "direction": "max", "tolerance": 0.0, "slack": HARDENED_EPSILON,
+    },
+    "kinds_tv": {
+        "direction": "max", "tolerance": 0.0, "slack": HARDENED_EPSILON,
+    },
+    "sequence_divergence": {
+        "direction": "max", "tolerance": 0.0, "slack": HARDENED_EPSILON,
+    },
+    "bucket_frequency_tv": {
+        "direction": "max", "tolerance": 0.0, "slack": HARDENED_EPSILON,
+    },
+    "max_count_delta": {"direction": "max", "tolerance": 0.0, "slack": 0.0},
+    "max_bucket_count_delta": {
+        "direction": "max", "tolerance": 0.0, "slack": 0.0,
+    },
+    "max_bucket_frequency_delta": {
+        "direction": "max", "tolerance": 0.0, "slack": 0.0,
+    },
+    "max_cardinality_delta": {"direction": "max", "tolerance": 0.0, "slack": 0.0},
+}
+
 
 @dataclass(frozen=True)
 class AuditConfig:
@@ -76,6 +107,14 @@ class AuditConfig:
     canary_pad_bytes: int = 32
     #: Include (nondeterministic, ungated) step-latency distances.
     include_timing: bool = False
+    #: Audit the leakage-hardened oblivious mode: runs execute with
+    #: ``hardening=True`` and the gate uses :data:`HARDENED_GATE_RULES`
+    #: (TV <= epsilon, all deltas zero).  Combined with ``canary``, the
+    #: protocol runs deliberately execute *unhardened* while the
+    #: document still claims (and gates) hardened distances — modelling
+    #: a deployment whose padding layer silently regressed, which the
+    #: zero-slack hardened gate must flag under ``--expect-fail``.
+    hardened: bool = False
 
     def __post_init__(self) -> None:
         if self.transport not in ("bus", "tcp"):
@@ -295,9 +334,17 @@ def _observed_run(
     from repro.core.runner import run_join_query
 
     transport = _make_transport(config)
+    # The canary models a hardened deployment whose padding layer
+    # silently regressed, so a hardened+canary audit runs unhardened
+    # (the LeakyTransport pads proportionally to observable counts,
+    # which genuine hardening would make invariant — the planted defect
+    # must actually move the distances for --expect-fail to bite).
+    hardened_run = config.hardened and not config.canary
     try:
         federation = factory(workload, transport)
-        result = run_join_query(federation, query, protocol=protocol)
+        result = run_join_query(
+            federation, query, protocol=protocol, hardening=hardened_run
+        )
         return adversary_traces(result)
     finally:
         transport.close()
@@ -309,13 +356,16 @@ def _spec_document(spec: WorkloadSpec) -> dict[str, Any]:
     return document
 
 
-def default_gate(protocols_document: Mapping[str, Any]) -> dict[str, Any]:
+def default_gate(
+    protocols_document: Mapping[str, Any], hardened: bool = False
+) -> dict[str, Any]:
     """One gate rule per (protocol, adversary, gated metric) present."""
+    rules = HARDENED_GATE_RULES if hardened else DEFAULT_GATE_RULES
     gate: dict[str, Any] = {}
     for protocol, entry in sorted(protocols_document.items()):
         for adversary, audit in sorted(entry["adversaries"].items()):
             for metric in audit["distances"]:
-                rule = DEFAULT_GATE_RULES.get(metric)
+                rule = rules.get(metric)
                 if rule is not None:
                     gate[f"{protocol}/{adversary}/{metric}"] = dict(rule)
     return gate
@@ -367,6 +417,7 @@ def differential_audit(
         "bench": "leakage_audit",
         "transport": config.transport,
         "canary": config.canary,
+        "hardened": config.hardened,
         "include_timing": config.include_timing,
         "query": query,
         "workload": {
@@ -374,7 +425,7 @@ def differential_audit(
             "perturbation": perturbation,
         },
         "protocols": protocols_document,
-        "gate": default_gate(protocols_document),
+        "gate": default_gate(protocols_document, hardened=config.hardened),
         "context": {
             "crypto_backend": active_backend().name,
             "rsa_bits": config.rsa_bits,
@@ -397,7 +448,8 @@ def render_audit_summary(document: Mapping[str, Any]) -> str:
     """Human-readable per-adversary distance table."""
     lines = [
         "Differential leakage audit "
-        f"(transport={document['transport']}, canary={document['canary']})",
+        f"(transport={document['transport']}, canary={document['canary']}, "
+        f"hardened={document.get('hardened', False)})",
         f"{'protocol':18s} {'adversary':16s} {'msgs_tv':>8s} {'kinds_tv':>9s} "
         f"{'Δcount':>7s} {'Δbucket':>8s} {'Δcard':>6s} {'seq_div':>8s}",
         "-" * 78,

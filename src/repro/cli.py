@@ -352,8 +352,13 @@ def _command_audit_differential(args) -> int:
         paillier_bits=args.paillier_bits,
         canary=args.canary,
         include_timing=args.include_timing,
+        hardened=args.hardened,
     )
     document = differential_audit(config)
+    if getattr(args, "any_transport", False):
+        # Hardened distances are transport-independent by construction;
+        # a baseline labelled "any" gates both bus and tcp candidates.
+        document["transport"] = "any"
     if args.out:
         write_leakage_artifact(args.out, document)
         print(render_audit_summary(document))
@@ -407,11 +412,12 @@ def _command_query(args) -> int:
         sql = args.sql or (
             f"select * from {args.name1} natural join {args.name2}"
         )
-        hardened = injector is not None or args.deadline is not None
+        degrade = injector is not None or args.deadline is not None
         result = run_join_query(
             federation, sql, protocol=args.protocol,
-            on_failure="return" if hardened else "raise",
+            on_failure="return" if degrade else "raise",
             deadline_seconds=args.deadline,
+            hardening=args.hardened,
         )
         if not result.ok:
             # Graceful degradation: the structured failure, never a
@@ -429,6 +435,13 @@ def _command_query(args) -> int:
         else:
             print(result.global_result.pretty())
         _print_storage_stats(result)
+        if args.hardened and "hardening" in result.artifacts:
+            stats = result.artifacts["hardening"]
+            print(
+                f"hardened: overhead x{stats['overhead_factor']}, "
+                f"{stats['dummy_items_total']} dummy items, "
+                f"{stats['frames_total']} result frames"
+            )
         if transport is not None:
             print(
                 f"\n{len(federation.network.transcript)} messages, "
@@ -664,6 +677,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --differential: add (nondeterministic, ungated) "
              "step-latency distances",
     )
+    audit.add_argument(
+        "--hardened", action="store_true",
+        help="with --differential: audit the leakage-hardened oblivious "
+             "mode and gate at ~zero distances (docs/security.md); with "
+             "--canary, runs execute unhardened so the hardened gate "
+             "must flag the regression",
+    )
+    audit.add_argument(
+        "--any-transport", action="store_true",
+        help="with --differential: label the artifact transport 'any' so "
+             "a committed baseline gates both bus and tcp candidates",
+    )
     _add_workload_arguments(audit)
     _add_crypto_arguments(audit)
     _add_telemetry_arguments(audit)
@@ -702,6 +727,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="overall run deadline, propagated into every transport wait",
+    )
+    query.add_argument(
+        "--hardened", action="store_true",
+        help="run in the leakage-hardened oblivious mode: padded buckets, "
+             "uniform ciphertext sizes, fixed-size result frames "
+             "(docs/security.md 'Hardened mode')",
     )
     _add_crypto_arguments(query)
     _add_storage_arguments(query)

@@ -47,7 +47,7 @@ from repro.core.request import RequestPhaseOutcome
 from repro.core.result import MediationResult
 from repro.core.timing import timed
 from repro.crypto import commutative as comm
-from repro.crypto import groups, hybrid
+from repro.crypto import groups, hybrid, symmetric
 from repro.crypto.engine import CryptoEngine, get_engine
 from repro.crypto.hashes import IdealHash
 from repro.crypto.instrumentation import count_primitives
@@ -158,6 +158,7 @@ def _prepare_source(
     config: CommutativeConfig,
     engine: CryptoEngine | None = None,
     cache: IndexCache | None = None,
+    hardening=None,
 ) -> tuple[_SourceState, list[TaggedMessage]]:
     """Listing 3 steps 1-3 at one datasource.
 
@@ -212,7 +213,12 @@ def _prepare_source(
                 )
 
     # Tuple-set ciphertexts: keyed by recipient set + plaintext content.
+    # Hardened runs wrap every tuple-set encoding to one uniform length
+    # before anything downstream (cache slots, ciphertext bodies) can see
+    # the per-value size; the client unwraps after decryption.
     encoded_sets = [encode_rows(grouped[join_key]) for join_key in join_keys]
+    if hardening is not None:
+        encoded_sets, _ = hardening.wrap_uniform(encoded_sets)
     ciphertexts: list[hybrid.HybridCiphertext | None] = [None] * len(join_keys)
     pending_sets: list[int] = []
     if cache is not None:
@@ -313,6 +319,7 @@ def run_commutative_delivery(
     outcome: RequestPhaseOutcome,
     config: CommutativeConfig | None = None,
     engine: CryptoEngine | None = None,
+    hardening=None,
 ) -> MediationResult:
     """Execute the commutative delivery phase (Listing 3) over the bus."""
     config = config or CommutativeConfig()
@@ -367,6 +374,7 @@ def run_commutative_delivery(
                     config,
                     engine,
                     cache=federation.source(source_name).index_cache(),
+                    hardening=hardening,
                 )
             states[source_name] = state
             message_sets[source_name] = messages
@@ -431,20 +439,63 @@ def run_commutative_delivery(
                     result_messages.append(
                         (resolve(message.payload), tup_2_by_tag[message.tag])
                     )
-        network.send(
-            mediator_name, client.name, "commutative_result", result_messages
-        )
+        if hardening is not None:
+            # The intersection size is the mediator's headline leak (Table
+            # 1 row "number of values in common").  Pad the result channel
+            # to min(|M_1|, |M_2|) — active-domain sizes are adjacency
+            # invariants — with dummy pairs whose ciphertext bodies match
+            # the (uniform) per-source body lengths, shuffled so dummy
+            # positions carry no signal, delivered as fixed-size frames.
+            overhead = symmetric.ciphertext_overhead()
+
+            def dummy_pair():
+                body_1 = len(message_sets[source_1][0].payload.body)
+                body_2 = len(message_sets[source_2][0].payload.body)
+                return (
+                    hybrid.encrypt(client_keys, hardening.dummy(body_1 - overhead)),
+                    hybrid.encrypt(client_keys, hardening.dummy(body_2 - overhead)),
+                )
+
+            delivered = hardening.cover.deliver_chunks(
+                network,
+                mediator_name,
+                client.name,
+                "commutative_result",
+                result_messages,
+                bound=min(
+                    len(message_sets[source_1]), len(message_sets[source_2])
+                ),
+                dummy_factory=dummy_pair,
+                shuffle=True,
+            )
+        else:
+            network.send(
+                mediator_name, client.name, "commutative_result", result_messages
+            )
+            delivered = result_messages
 
         # Step 8: the client decrypts and constructs the global result.
+        dummy_pairs = 0
         with timed(result, client.name, "decrypt_and_combine"):
             plaintexts_1 = client.decrypt_hybrid_many(
-                [pair[0] for pair in result_messages], engine=engine
+                [pair[0] for pair in delivered], engine=engine
             )
             plaintexts_2 = client.decrypt_hybrid_many(
-                [pair[1] for pair in result_messages], engine=engine
+                [pair[1] for pair in delivered], engine=engine
             )
             matched = []
             for plaintext_1, plaintext_2 in zip(plaintexts_1, plaintexts_2):
+                if hardening is not None:
+                    plaintext_1 = hardening.unwrap(plaintext_1)
+                    plaintext_2 = hardening.unwrap(plaintext_2)
+                    if plaintext_1 is None and plaintext_2 is None:
+                        dummy_pairs += 1
+                        continue
+                    if plaintext_1 is None or plaintext_2 is None:
+                        raise ProtocolError(
+                            "commutative result pair mixes a real tuple set "
+                            "with a dummy"
+                        )
                 rows_1 = decode_rows(plaintext_1, relation_1.schema)
                 rows_2 = decode_rows(plaintext_2, relation_2.schema)
                 probe = Relation(relation_1.schema, rows_1)
@@ -469,4 +520,6 @@ def run_commutative_delivery(
             "config": config,
         }
     )
+    if hardening is not None:
+        result.artifacts["dummy_pairs_discarded"] = dummy_pairs
     return result

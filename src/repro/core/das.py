@@ -35,6 +35,7 @@ three are implemented:
 from __future__ import annotations
 
 import hashlib
+import random
 import secrets
 from dataclasses import dataclass, field
 
@@ -202,6 +203,7 @@ def _encrypt_source(
     client_keys,
     engine: CryptoEngine | None = None,
     cache: IndexCache | None = None,
+    hardening=None,
 ) -> _SourceState:
     """Steps 1-2 at one datasource.
 
@@ -258,6 +260,12 @@ def _encrypt_source(
     encoded_rows = [
         encode_row(tuple(row[i] for i in sensitive_positions)) for row in rows
     ]
+    # Hardened runs wrap every row encoding to one uniform length before
+    # it can influence cache slots or ciphertext bodies; the client
+    # unwraps (and discards dummies) in _row_decryptor.
+    row_target = 0
+    if hardening is not None:
+        encoded_rows, row_target = hardening.wrap_uniform(encoded_rows)
 
     etuples: list[hybrid.HybridCiphertext | None] = [None] * len(rows)
     pending: list[int] = []
@@ -301,12 +309,59 @@ def _encrypt_source(
         )
         for row, etuple in zip(rows, etuples)
     ]
+    if hardening is not None:
+        # Bucket padding: top every bucket up to the adjacency-invariant
+        # bound max_multiplicity * (values per partition), so the
+        # per-bucket frequency shape the mediator observes is a constant
+        # of |domactive| and the config.  Dummies are freshly encrypted
+        # (never cached — identical ciphertexts would fingerprint them)
+        # and the padded relation is shuffled so position carries nothing.
+        multiplicities: dict = {}
+        for row in rows:
+            value = relation.value(row, attribute)
+            multiplicities[value] = multiplicities.get(value, 0) + 1
+        bound = hardening.policy.bucket_bound(
+            max(multiplicities.values(), default=0),
+            len(multiplicities),
+            config.buckets,
+            config.strategy,
+        )
+        occupancy: dict[int, int] = {}
+        for encrypted in encrypted_rows:
+            occupancy[encrypted.index_value] = (
+                occupancy.get(encrypted.index_value, 0) + 1
+            )
+        shortfalls = [
+            (index, bound - occupancy.get(index, 0))
+            for _, index in index_table.entries
+        ]
+        total_dummies = sum(shortfall for _, shortfall in shortfalls)
+        if any(shortfall < 0 for _, shortfall in shortfalls):
+            raise ProtocolError(
+                "hardened bucket bound under-estimates a bucket occupancy"
+            )
+        if total_dummies:
+            dummy_ciphertexts = engine.batch_hybrid_encrypt(
+                client_keys,
+                [hardening.dummy(row_target) for _ in range(total_dummies)],
+            )
+            cursor = 0
+            for index, shortfall in shortfalls:
+                for _ in range(shortfall):
+                    encrypted_rows.append(
+                        EncryptedTuple(dummy_ciphertexts[cursor], index)
+                    )
+                    cursor += 1
+        random.SystemRandom().shuffle(encrypted_rows)
     encrypted_relation = EncryptedRelation(
         source=source_name,
         relation_name=relation.name,
         rows=tuple(encrypted_rows),
     )
-    encrypted_index_table = hybrid.encrypt(client_keys, index_table.to_bytes())
+    table_bytes = index_table.to_bytes()
+    if hardening is not None:
+        table_bytes = hardening.wrap_table(table_bytes)
+    encrypted_index_table = hybrid.encrypt(client_keys, table_bytes)
     return _SourceState(
         index_table=index_table,
         encrypted_relation=encrypted_relation,
@@ -360,12 +415,41 @@ def _evaluate_server_query(
     return ServerResult(pairs=tuple(pairs))
 
 
+def _table_from_plaintext(plaintext: bytes, hardening=None) -> IndexTable:
+    """Decode a decrypted index table, unwrapping hardened padding."""
+    if hardening is not None:
+        plaintext = hardening.unwrap(plaintext)
+        if plaintext is None:
+            raise ProtocolError("hardened index table decrypted to a dummy")
+    return IndexTable.from_bytes(plaintext)
+
+
+def _server_pairs(
+    table_1: IndexTable, table_2: IndexTable, hardening=None
+) -> tuple[tuple[int, int], ...]:
+    """The q_S index pairs: overlap-driven, or all pairs when hardened.
+
+    The overlap count is data-dependent (it tracks which buckets share
+    values), so hardened translators request the full B_1 x B_2 grid —
+    the server result becomes the entire padded cross product, whose
+    size (B_1 * bound_1) * (B_2 * bound_2) is an adjacency invariant.
+    """
+    if hardening is None:
+        return tuple(table_1.overlapping_pairs(table_2))
+    return tuple(
+        (index_1, index_2)
+        for _, index_1 in table_1.entries
+        for _, index_2 in table_2.entries
+    )
+
+
 def _row_decryptor(
     client,
     schema: Schema,
     config: DASConfig,
     encrypted_tuples: list[EncryptedTuple] | None = None,
     engine: CryptoEngine | None = None,
+    hardening=None,
 ):
     """Build a per-schema decryptor that reassembles mixed-model rows.
 
@@ -381,7 +465,11 @@ def _row_decryptor(
     )
     cache: dict[int, Row] = {}
 
-    def merge(encrypted: EncryptedTuple, plaintext: bytes) -> Row:
+    def merge(encrypted: EncryptedTuple, plaintext: bytes) -> Row | None:
+        if hardening is not None:
+            plaintext = hardening.unwrap(plaintext)
+            if plaintext is None:
+                return None  # dummy etuple: discard, never a result row
         sensitive_part = decode_row(plaintext, sensitive_schema)
         merged: list = [None] * len(schema)
         for value, position in zip(sensitive_part, sensitive_positions):
@@ -421,11 +509,13 @@ def _client_postprocess(
     join_attributes: tuple[str, ...],
     config: DASConfig,
     engine: CryptoEngine | None = None,
-) -> tuple[Relation, int]:
+    hardening=None,
+) -> tuple[Relation, int, int]:
     """Step 7 at the client: decrypt R_C, apply q_C, build the result.
 
-    Returns the global result and the number of false positives the
-    client had to discard (the DAS post-processing overhead, E7).
+    Returns the global result, the number of false positives the client
+    had to discard (the DAS post-processing overhead, E7), and the number
+    of pairs dropped because at least one side was a hardened dummy.
     """
     attribute = join_attributes[0]
     condition = AttributeComparison(
@@ -446,6 +536,7 @@ def _client_postprocess(
         config,
         [pair[0] for pair in server_result.pairs],
         engine,
+        hardening=hardening,
     )
     decrypt_2 = _row_decryptor(
         client,
@@ -453,22 +544,27 @@ def _client_postprocess(
         config,
         [pair[1] for pair in server_result.pairs],
         engine,
+        hardening=hardening,
     )
 
     rows: list[Row] = []
     false_positives = 0
+    dummy_pairs = 0
     position_1 = schema_1.position(attribute)
     position_2 = schema_2.position(attribute)
     for encrypted_1, encrypted_2 in server_result.pairs:
         row_1 = decrypt_1(encrypted_1)
         row_2 = decrypt_2(encrypted_2)
+        if row_1 is None or row_2 is None:
+            dummy_pairs += 1
+            continue
         # q_C = sigma_{R1.A = R2.A}: the real equality on plaintexts.
         if row_1[position_1] == row_2[position_2]:
             rows.append(row_1 + tuple(row_2[i] for i in extra_positions))
         else:
             false_positives += 1
     del condition  # kept above for documentation symmetry with Cond_S
-    return Relation(result_schema, rows), false_positives
+    return Relation(result_schema, rows), false_positives, dummy_pairs
 
 
 def run_das_delivery(
@@ -476,10 +572,27 @@ def run_das_delivery(
     outcome: RequestPhaseOutcome,
     config: DASConfig | None = None,
     engine: CryptoEngine | None = None,
+    hardening=None,
 ) -> MediationResult:
     """Execute the DAS delivery phase (Listing 2) over the message bus."""
     config = config or DASConfig()
     engine = engine or get_engine()
+    if hardening is not None:
+        if config.strategy == "equi_width":
+            raise ProtocolError(
+                "hardened mode cannot bound equi_width buckets (bucket "
+                "occupancy is value-dependent); use equi_depth or singleton"
+            )
+        if config.mixed_plaintext_attributes:
+            raise ProtocolError(
+                "hardened mode is incompatible with the mixed DAS model: "
+                "plaintext attribute values leak by construction"
+            )
+        if config.setting == MEDIATOR_SETTING:
+            raise ProtocolError(
+                "hardened mode is incompatible with the mediator setting: "
+                "the index tables reach the mediator in plaintext"
+            )
     if len(outcome.join_attributes) != 1:
         raise ProtocolError(
             "the DAS delivery phase supports exactly one join attribute; "
@@ -534,6 +647,7 @@ def run_das_delivery(
                     client_keys,
                     engine,
                     cache=federation.source(source_name).index_cache(),
+                    hardening=hardening,
                 )
             states[source_name] = state
             if config.setting == CLIENT_SETTING:
@@ -542,9 +656,10 @@ def run_das_delivery(
                 if source_name == source_2:
                     # Encrypted for the *translating source*, not the
                     # client: only S1 can open it.
-                    table_body = hybrid.encrypt(
-                        [translator_key], state.index_table.to_bytes()
-                    )
+                    table_2_bytes = state.index_table.to_bytes()
+                    if hardening is not None:
+                        table_2_bytes = hardening.wrap_table(table_2_bytes)
+                    table_body = hybrid.encrypt([translator_key], table_2_bytes)
                 else:
                     table_body = None  # S1 keeps its own table locally
             else:
@@ -575,15 +690,16 @@ def run_das_delivery(
                 encrypted_table_2,
             )
             with timed(result, source_1, "translate_query"):
-                table_2 = IndexTable.from_bytes(
+                table_2 = _table_from_plaintext(
                     hybrid.decrypt(
                         federation.source(source_1).private_key(),
                         encrypted_table_2,
-                    )
+                    ),
+                    hardening,
                 )
                 server_query = ServerQuery(
-                    pairs=tuple(
-                        states[source_1].index_table.overlapping_pairs(table_2)
+                    pairs=_server_pairs(
+                        states[source_1].index_table, table_2, hardening
                     )
                 )
             network.send(source_1, mediator_name, "das_server_query", server_query)
@@ -600,14 +716,16 @@ def run_das_delivery(
             )
             # Step 5: client decrypts the tables and translates q.
             with timed(result, client.name, "translate_query"):
-                table_1 = IndexTable.from_bytes(
-                    client.decrypt_hybrid(states[source_1].encrypted_index_table)
+                table_1 = _table_from_plaintext(
+                    client.decrypt_hybrid(states[source_1].encrypted_index_table),
+                    hardening,
                 )
-                table_2 = IndexTable.from_bytes(
-                    client.decrypt_hybrid(states[source_2].encrypted_index_table)
+                table_2 = _table_from_plaintext(
+                    client.decrypt_hybrid(states[source_2].encrypted_index_table),
+                    hardening,
                 )
                 server_query = ServerQuery(
-                    pairs=tuple(table_1.overlapping_pairs(table_2))
+                    pairs=_server_pairs(table_1, table_2, hardening)
                 )
             network.send(client.name, mediator_name, "das_server_query", server_query)
         else:
@@ -629,11 +747,28 @@ def run_das_delivery(
                 states[source_2].encrypted_relation,
                 backend=federation.mediator.storage,
             )
-        network.send(mediator_name, client.name, "das_server_result", server_result)
+        if hardening is not None:
+            # Fixed-size frames: the padded cross product streams to the
+            # client in chunks whose count is a pure function of the
+            # (invariant) bound — no dummy top-up needed, the relation
+            # padding already fixed |R_C|.
+            hardening.cover.deliver_chunks(
+                network,
+                mediator_name,
+                client.name,
+                "das_server_result",
+                list(server_result.pairs),
+                bound=len(server_result.pairs),
+                wrap_body=lambda chunk: ServerResult(pairs=tuple(chunk)),
+            )
+        else:
+            network.send(
+                mediator_name, client.name, "das_server_result", server_result
+            )
 
         # Step 7: client decrypts and applies q_C.
         with timed(result, client.name, "decrypt_and_postprocess"):
-            global_result, false_positives = _client_postprocess(
+            global_result, false_positives, dummy_pairs = _client_postprocess(
                 client,
                 server_result,
                 schema_1,
@@ -641,6 +776,7 @@ def run_das_delivery(
                 outcome.join_attributes,
                 config,
                 engine,
+                hardening=hardening,
             )
 
     result.global_result = global_result
@@ -662,6 +798,8 @@ def run_das_delivery(
             "config": config,
         }
     )
+    if hardening is not None:
+        result.artifacts["dummy_pairs_discarded"] = dummy_pairs
     if config.setting == SOURCE_SETTING:
         # The distinguishing leakage of this setting: the translating
         # source learned the opposite source's index table.

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import MediationError
+from repro.hardening import PaddingPolicy
 from repro.mediation.access_control import AccessPolicy
 from repro.mediation.ca import CertificationAuthority
 from repro.mediation.client import Client
@@ -41,6 +42,10 @@ class Federation:
     #: source name) and amortizes encrypted indexes across queries; the
     #: mediator pushes the DAS server query down into it.
     storage: StorageBackend | None = None
+    #: Federation-wide default for the leakage-hardened oblivious mode:
+    #: a :class:`~repro.hardening.PaddingPolicy` here makes every run
+    #: hardened unless the ``run_join_query`` caller overrides it.
+    hardening: PaddingPolicy | None = None
 
     def __post_init__(self) -> None:
         self.network.register(self.mediator.name)

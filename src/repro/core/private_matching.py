@@ -194,10 +194,20 @@ def _evaluate_for_source(
     scheme: AdditiveHomomorphicScheme,
     public_key: Any,
     engine: CryptoEngine | None = None,
+    hardening=None,
 ) -> list[Any]:
     """Listing 4 steps 5/6: E(r * P_other(a) + (a || payload)) per value."""
     engine = engine or get_engine()
     modulus = scheme.plaintext_bound(public_key)
+    # The side-table ciphertexts are the only data-sized observables of
+    # this protocol (everything else is |domactive|-counted); hardened
+    # runs wrap the tuple-set encodings to one uniform length per source.
+    encoded_sets: dict[JoinKey, bytes] = {}
+    if config.payload_mode == SESSION_KEY_MODE:
+        encoded = [encode_rows(state.groups[join_key]) for join_key in state.keys]
+        if hardening is not None:
+            encoded, _ = hardening.wrap_uniform(encoded)
+        encoded_sets = dict(zip(state.keys, encoded))
     # Payload encoding and mask drawing stay in the protocol driver (the
     # masks are protocol randomness); the expensive oblivious Horner
     # evaluations run as one engine batch.
@@ -213,7 +223,7 @@ def _evaluate_for_source(
             while token in state.side_table:
                 token = secrets.token_bytes(ID_TOKEN_BYTES)
             state.side_table[token] = hybrid.session_encrypt(
-                session_key, encode_rows(rows)
+                session_key, encoded_sets[join_key]
             )
             body = session_key + token
         payload = encode_payload(join_key, body, modulus)
@@ -233,6 +243,7 @@ def _client_decrypt_side(
     schema,
     config: PMConfig,
     engine: CryptoEngine | None = None,
+    hardening=None,
 ) -> dict[JoinKey, tuple[Row, ...]]:
     """Listing 4 step 8 (one side): recover the surviving tuple sets."""
     engine = engine or get_engine()
@@ -249,9 +260,14 @@ def _client_decrypt_side(
             session_key, token = split_session_body(payload.body)
             if token not in side_table:
                 raise ProtocolError("side table is missing a matched ID token")
-            rows = decode_rows(
-                hybrid.session_decrypt(session_key, side_table[token]), schema
-            )
+            blob = hybrid.session_decrypt(session_key, side_table[token])
+            if hardening is not None:
+                blob = hardening.unwrap(blob)
+                if blob is None:
+                    raise ProtocolError(
+                        "matched side-table entry decrypted to a dummy"
+                    )
+            rows = decode_rows(blob, schema)
         if join_key in recovered:
             raise ProtocolError(f"duplicate join key {join_key!r} in payloads")
         recovered[join_key] = rows
@@ -263,10 +279,16 @@ def run_private_matching_delivery(
     outcome: RequestPhaseOutcome,
     config: PMConfig | None = None,
     engine: CryptoEngine | None = None,
+    hardening=None,
 ) -> MediationResult:
     """Execute the private-matching delivery phase (Listing 4)."""
     config = config or PMConfig()
     engine = engine or get_engine()
+    if hardening is not None and config.payload_mode == INLINE_MODE:
+        raise ProtocolError(
+            "hardened mode requires the session-key payload mode: inline "
+            "tuple-set payloads have no uniform wrapping path"
+        )
     client = federation.require_client()
     if client.homomorphic_scheme is None:
         raise ProtocolError(
@@ -357,6 +379,7 @@ def run_private_matching_delivery(
                     scheme,
                     public_key,
                     engine,
+                    hardening=hardening,
                 )
             network.send(
                 source_name, mediator_name, "pm_evaluations",
@@ -396,6 +419,7 @@ def run_private_matching_delivery(
                 relation_1.schema,
                 config,
                 engine,
+                hardening=hardening,
             )
             recovered_2 = _client_decrypt_side(
                 client,
@@ -404,6 +428,7 @@ def run_private_matching_delivery(
                 relation_2.schema,
                 config,
                 engine,
+                hardening=hardening,
             )
             matched = [
                 (join_key, recovered_1[join_key], recovered_2[join_key])

@@ -21,6 +21,7 @@ from repro.core.result import MediationResult, RunFailure
 from repro.crypto.engine import CryptoEngine
 from repro.deadline import deadline
 from repro.errors import ProtocolError, ReproError
+from repro.hardening import resolve_hardening
 from repro.relational.algebra import evaluate_above_join
 from repro.relational.relation import Relation
 from repro.session import session_scope
@@ -45,6 +46,7 @@ def run_join_query(
     on_failure: str = "raise",
     deadline_seconds: float | None = None,
     session_id: str | None = None,
+    hardening: Any = None,
 ) -> MediationResult | RunFailure:
     """Run a global join query end to end under the named protocol.
 
@@ -73,6 +75,11 @@ def run_join_query(
       decision, and span below carries the id, and endpoints key their
       per-session state by it.  ``None`` leaves any enclosing scope in
       force (or runs session-less, the legacy behaviour).
+    * ``hardening`` opts into the leakage-hardened oblivious mode
+      (``True``, a :class:`~repro.hardening.PaddingPolicy`, or a
+      prepared :class:`~repro.hardening.Hardening` context); ``None``
+      falls back to ``federation.hardening``.  See ``docs/security.md``
+      ("Hardened mode").
     """
     if protocol not in PROTOCOLS:
         raise ProtocolError(
@@ -88,6 +95,7 @@ def run_join_query(
         raise ProtocolError(
             f"on_failure must be 'raise' or 'return', got {on_failure!r}"
         )
+    context = resolve_hardening(hardening, federation.hardening)
     client_party = federation.client.name if federation.client else "client"
     scope = (
         session_scope(session_id)
@@ -105,7 +113,10 @@ def run_join_query(
             with tracing.span(
                 "delivery", client_party, kind="phase", protocol=protocol
             ):
-                result = delivery(federation, outcome, config, engine=engine)
+                result = delivery(
+                    federation, outcome, config, engine=engine,
+                    hardening=context,
+                )
             # The protocols deliver the JOIN; remaining operators of the
             # global query (selection, projection) are the client's local
             # post-work.
@@ -121,6 +132,9 @@ def run_join_query(
             storage_stats = _collect_storage_stats(federation)
             if storage_stats is not None:
                 result.artifacts["storage_cache"] = storage_stats
+            if context is not None:
+                result.artifacts["hardening"] = context.artifact()
+                context.record_metrics(protocol)
             return result
     except ReproError as exc:
         if on_failure != "return":

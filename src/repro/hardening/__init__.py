@@ -1,0 +1,33 @@
+"""Opt-in leakage hardening: padding, dummies, and cover traffic.
+
+See ``docs/security.md`` ("Hardened mode") for the leakage-cell-by-cell
+rationale and the residual channels the mode cannot close.
+"""
+
+from repro.hardening.cover import CoverTraffic
+from repro.hardening.policy import (
+    DUMMY_ITEMS_METRIC,
+    FRAMES_METRIC,
+    HEADER_BYTES,
+    MARKER_DUMMY,
+    MARKER_REAL,
+    PAD_BYTES_METRIC,
+    Hardening,
+    HardeningStats,
+    PaddingPolicy,
+    resolve_hardening,
+)
+
+__all__ = [
+    "CoverTraffic",
+    "DUMMY_ITEMS_METRIC",
+    "FRAMES_METRIC",
+    "HEADER_BYTES",
+    "MARKER_DUMMY",
+    "MARKER_REAL",
+    "PAD_BYTES_METRIC",
+    "Hardening",
+    "HardeningStats",
+    "PaddingPolicy",
+    "resolve_hardening",
+]

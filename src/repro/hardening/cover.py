@@ -1,0 +1,99 @@
+"""Cover traffic: fixed-size result frames with dummy top-up.
+
+The hardened mode's result channels never send "the result" as one
+message whose count or size tracks the data.  Instead,
+:class:`CoverTraffic` schedules a **deterministic number of frames** per
+result kind — ``ceil(bound / batch_size)`` where ``bound`` is computed
+from adjacency-invariant quantities only (active-domain sizes,
+multiplicity maxima, partition counts) — and fills any shortfall of real
+items with indistinguishable dummies supplied by the caller.  Frames
+consisting purely of dummies are exactly the "sealed no-op" cover frames
+of the oblivious-processing literature (arXiv 1312.4012): an adversary
+counting or sizing frames on any link learns only the invariant
+schedule.
+
+The schedule is a pure function of the bound and the policy, so two runs
+over adjacent workloads — or two runs of the *same* workload under a
+seeded fault plan — produce byte-identical frame sequences and therefore
+byte-identical fault logs (the injector's decisions key off message
+positions, which never move).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from repro.errors import ProtocolError
+
+
+class CoverTraffic:
+    """Chunked, count-equalized delivery of one result channel.
+
+    Bound to a :class:`~repro.hardening.policy.Hardening` context for the
+    batch size and the frame accounting; the context creates one per run.
+    """
+
+    def __init__(self, hardening: Any) -> None:
+        self._hardening = hardening
+
+    def schedule(self, bound: int) -> int:
+        """Frames sent for a channel with invariant bound ``bound``.
+
+        At least one frame is always sent, so the channel's *kind* stays
+        observable even for an empty (but invariantly empty) result.
+        """
+        if bound < 0:
+            raise ProtocolError(f"negative cover-traffic bound {bound}")
+        batch = self._hardening.policy.batch_size
+        return max(1, -(-bound // batch))
+
+    def deliver_chunks(
+        self,
+        network: Any,
+        sender: str,
+        receiver: str,
+        kind: str,
+        items: Sequence[Any],
+        bound: int,
+        dummy_factory: Callable[[], Any] | None = None,
+        wrap_body: Callable[[list[Any]], Any] | None = None,
+        shuffle: bool = False,
+    ) -> list[Any]:
+        """Send ``items`` as ``schedule(bound)`` frames of ``kind``.
+
+        ``items`` is topped up to exactly ``bound`` elements with
+        ``dummy_factory()`` products, optionally shuffled (protocol
+        randomness — dummy positions must not leak), and partitioned
+        into frames of at most ``batch_size`` elements each.  Every
+        frame body is ``wrap_body(chunk)`` (default: a plain list).
+        Returns the padded item list, in delivery order, for the local
+        continuation of the protocol.
+        """
+        real = list(items)
+        if len(real) > bound:
+            raise ProtocolError(
+                f"{kind}: {len(real)} real items exceed the hardened "
+                f"bound {bound} — the bound must dominate every workload"
+            )
+        shortfall = bound - len(real)
+        if shortfall and dummy_factory is None:
+            raise ProtocolError(
+                f"{kind}: {shortfall} dummy items needed but no factory given"
+            )
+        dummies = [dummy_factory() for _ in range(shortfall)]
+        dummy_ids = {id(item) for item in dummies}
+        padded = real + dummies
+        if shuffle:
+            random.SystemRandom().shuffle(padded)
+        wrap = wrap_body or (lambda chunk: list(chunk))
+        batch = self._hardening.policy.batch_size
+        frames = self.schedule(bound)
+        stats = self._hardening.stats
+        stats.frames += frames
+        for position in range(frames):
+            chunk = padded[position * batch:(position + 1) * batch]
+            if chunk and all(id(item) in dummy_ids for item in chunk):
+                stats.dummy_frames += 1
+            network.send(sender, receiver, kind, wrap(chunk))
+        return padded

@@ -1,0 +1,125 @@
+"""Property tests for the differential auditor's building blocks.
+
+The hardened mode's security argument only goes through if the
+adjacent-workload perturbation really preserves the invariants the
+padding bounds are computed from.  Hypothesis sweeps workload specs and
+synthetic traces to pin down:
+
+* ``adjacent_workload`` moves exactly one join value and preserves
+  every adjacency invariant (cardinalities, active-domain sizes, the
+  multiplicity multiset, schemas);
+* the distance metrics are symmetric in (base, twin) and identically
+  zero on identical traces.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.audit import adjacent_workload, trace_distances
+from repro.relational.datagen import WorkloadSpec, generate
+from repro.telemetry.observables import ObservableTrace, ObservedMessage
+
+specs = st.builds(
+    WorkloadSpec,
+    domain_1=st.integers(min_value=2, max_value=8),
+    domain_2=st.integers(min_value=2, max_value=8),
+    overlap=st.integers(min_value=1, max_value=2),
+    rows_per_value_1=st.integers(min_value=1, max_value=3),
+    rows_per_value_2=st.integers(min_value=1, max_value=2),
+    skew=st.sampled_from([0.0, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["a->b", "b->a", "a->c"]),
+        st.sampled_from(["query", "result", "table"]),
+        st.sampled_from([32, 64, 128, 256]),
+    ),
+    max_size=12,
+)
+
+
+def multiplicities(relation, attribute):
+    position = [a.name for a in relation.schema.attributes].index(attribute)
+    return Counter(
+        Counter(row[position] for row in relation.rows).values()
+    )
+
+
+def make_trace(event_list):
+    trace = ObservableTrace("mediator", "das", "Network")
+    for position, (link, kind, size) in enumerate(event_list):
+        trace.messages.append(
+            ObservedMessage(position, link, kind, "received", size)
+        )
+    return trace
+
+
+class TestAdjacencyInvariants:
+    @given(spec=specs)
+    @settings(max_examples=40, deadline=None)
+    def test_perturbation_preserves_every_invariant(self, spec):
+        base = generate(spec)
+        adjacent, perturbation = adjacent_workload(base)
+        join = spec.join_attribute
+
+        # Exactly one value moved, out of the intersection, R2 untouched.
+        victim = base.shared_values[0]
+        assert adjacent.relation_2.rows == base.relation_2.rows
+        assert victim not in adjacent.relation_1.active_domain(join)
+        assert set(base.shared_values) - set(adjacent.shared_values) == {victim}
+
+        # The invariants the padding bounds are computed from.
+        assert len(adjacent.relation_1.rows) == len(base.relation_1.rows)
+        assert len(adjacent.relation_1.active_domain(join)) == len(
+            base.relation_1.active_domain(join)
+        )
+        assert multiplicities(adjacent.relation_1, join) == multiplicities(
+            base.relation_1, join
+        )
+        assert adjacent.relation_1.schema == base.relation_1.schema
+
+        # And the quantity that must move: the intersection shrinks.
+        base_shared = set(base.relation_1.active_domain(join)) & set(
+            base.relation_2.active_domain(join)
+        )
+        adj_shared = set(adjacent.relation_1.active_domain(join)) & set(
+            adjacent.relation_2.active_domain(join)
+        )
+        assert len(adj_shared) == len(base_shared) - 1
+        assert perturbation["rows_rewritten"] >= 1
+
+    @given(spec=specs)
+    @settings(max_examples=20, deadline=None)
+    def test_perturbation_is_deterministic(self, spec):
+        base = generate(spec)
+        first, _ = adjacent_workload(base)
+        second, _ = adjacent_workload(generate(spec))
+        assert first.relation_1.rows == second.relation_1.rows
+
+
+class TestDistanceProperties:
+    @given(a=events, b=events)
+    @settings(max_examples=60, deadline=None)
+    def test_distances_are_symmetric(self, a, b):
+        forward = trace_distances(make_trace(a), make_trace(b))
+        backward = trace_distances(make_trace(b), make_trace(a))
+        assert forward == backward
+
+    @given(a=events)
+    @settings(max_examples=40, deadline=None)
+    def test_identical_traces_have_zero_distance(self, a):
+        distances = trace_distances(make_trace(a), make_trace(a))
+        assert all(value == 0.0 for value in distances.values())
+
+    @given(a=events, b=events)
+    @settings(max_examples=60, deadline=None)
+    def test_distances_are_bounded(self, a, b):
+        distances = trace_distances(make_trace(a), make_trace(b))
+        for metric in ("messages_tv", "kinds_tv", "bucket_frequency_tv"):
+            assert 0.0 <= distances[metric] <= 1.0
+        assert distances["sequence_divergence"] >= 0.0
+        assert distances["max_count_delta"] >= 0.0

@@ -1,0 +1,177 @@
+"""Unit tests for the CI gate scripts' tolerance arithmetic and errors.
+
+``scripts/check_perf_regression.py`` and
+``scripts/check_leakage_regression.py`` are the last line of defence in
+CI; a malformed artifact must produce a clear :class:`GateError` (exit
+code 2), never a bare ``KeyError`` traceback, and the bound arithmetic
+(``baseline * (1 ± tolerance) ± slack``) must be exact in both
+directions.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+SCRIPTS = pathlib.Path(__file__).resolve().parents[2] / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+import check_leakage_regression as leakage  # noqa: E402
+import check_perf_regression as perf  # noqa: E402
+from check_perf_regression import GateError, check_metric  # noqa: E402
+
+
+def leakage_doc(transport="bus", hardened=False, distance=0.0, gate=None):
+    return {
+        "schema": leakage.SCHEMA,
+        "transport": transport,
+        "hardened": hardened,
+        "workload": {"spec": {"seed": 7}},
+        "protocols": {
+            "das": {
+                "adversaries": {
+                    "network": {"distances": {"messages_tv": distance}}
+                }
+            }
+        },
+        "gate": gate if gate is not None else {
+            "das/network/messages_tv": {
+                "direction": "max", "tolerance": 0.0, "slack": 0.01,
+            }
+        },
+    }
+
+
+class TestCheckMetricArithmetic:
+    def test_max_bound_is_baseline_scaled_plus_slack(self):
+        rule = {"direction": "max", "tolerance": 0.25, "slack": 0.05}
+        passed, _ = check_metric("m", rule, 1.0, 1.30)
+        assert passed  # bound = 1.0 * 1.25 + 0.05 = 1.30 inclusive
+        passed, line = check_metric("m", rule, 1.0, 1.3001)
+        assert not passed and "FAIL" in line
+
+    def test_min_bound_is_baseline_scaled_minus_slack(self):
+        rule = {"direction": "min", "tolerance": 0.1, "slack": 0.2}
+        passed, _ = check_metric("m", rule, 10.0, 8.8)
+        assert passed  # bound = 10 * 0.9 - 0.2 = 8.8 inclusive
+        passed, _ = check_metric("m", rule, 10.0, 8.79)
+        assert not passed
+
+    def test_zero_baseline_zero_slack_is_exact(self):
+        rule = {"direction": "max", "tolerance": 0.0, "slack": 0.0}
+        assert check_metric("m", rule, 0.0, 0.0)[0]
+        assert not check_metric("m", rule, 0.0, 1e-9)[0]
+
+    def test_unknown_direction_is_a_gate_error(self):
+        with pytest.raises(GateError, match="unknown direction"):
+            check_metric("m", {"direction": "sideways"}, 1.0, 1.0)
+
+
+class TestPerfCompareDiagnostics:
+    BASE = {
+        "gate": {"ratio": {"direction": "max", "tolerance": 0.1}},
+        "metrics": {"ratio": 2.0},
+    }
+
+    def test_missing_gate_in_baseline_is_gate_error(self):
+        with pytest.raises(GateError, match="missing 'gate'"):
+            perf.compare({"metrics": {}}, {"metrics": {}})
+
+    def test_missing_metrics_in_candidate_is_gate_error(self):
+        with pytest.raises(GateError, match="missing 'metrics'"):
+            perf.compare(self.BASE, {"bench": "x"})
+
+    def test_non_numeric_gated_value_is_gate_error(self):
+        candidate = {"metrics": {"ratio": "fast"}}
+        with pytest.raises(GateError, match="not numeric"):
+            perf.compare(self.BASE, candidate)
+
+    def test_gated_metric_missing_from_candidate_fails_not_raises(self):
+        passed, lines = perf.compare(self.BASE, {"metrics": {}})
+        assert not passed
+        assert any("missing from candidate" in line for line in lines)
+
+    def test_within_tolerance_passes(self):
+        passed, _ = perf.compare(self.BASE, {"metrics": {"ratio": 2.2}})
+        assert passed
+
+
+class TestLeakageCompare:
+    def test_matching_documents_pass(self):
+        passed, _ = leakage.compare(leakage_doc(), leakage_doc())
+        assert passed
+
+    def test_distance_above_slack_fails(self):
+        passed, lines = leakage.compare(
+            leakage_doc(), leakage_doc(distance=0.02)
+        )
+        assert not passed
+        assert any("FAIL" in line for line in lines)
+
+    def test_transport_mismatch_is_gate_error(self):
+        with pytest.raises(GateError, match="transport mismatch"):
+            leakage.compare(leakage_doc("bus"), leakage_doc("tcp"))
+
+    def test_any_transport_baseline_gates_both_carriers(self):
+        for transport in ("bus", "tcp"):
+            passed, _ = leakage.compare(
+                leakage_doc("any"), leakage_doc(transport)
+            )
+            assert passed, transport
+
+    def test_hardened_flag_mismatch_is_gate_error(self):
+        with pytest.raises(GateError, match="hardened-flag mismatch"):
+            leakage.compare(
+                leakage_doc(hardened=True), leakage_doc(hardened=False)
+            )
+
+    def test_missing_protocols_is_gate_error_not_keyerror(self):
+        document = leakage_doc()
+        del document["protocols"]
+        with pytest.raises(GateError, match="missing 'protocols'"):
+            leakage.flatten_distances(document)
+
+    def test_gated_distance_missing_from_candidate_fails(self):
+        candidate = leakage_doc()
+        candidate["protocols"]["das"]["adversaries"] = {}
+        passed, lines = leakage.compare(leakage_doc(), candidate)
+        assert not passed
+        assert any("missing from candidate" in line for line in lines)
+
+    def test_workload_mismatch_is_gate_error(self):
+        candidate = leakage_doc()
+        candidate["workload"] = {"spec": {"seed": 8}}
+        with pytest.raises(GateError, match="workload mismatch"):
+            leakage.compare(leakage_doc(), candidate)
+
+
+class TestLeakageMain:
+    def write(self, tmp_path, name, document):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_expect_fail_inverts_the_verdict(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", leakage_doc())
+        breach = self.write(
+            tmp_path, "cand.json", leakage_doc(distance=0.5)
+        )
+        assert leakage.main(
+            ["--baseline", str(baseline), "--candidate", str(breach),
+             "--expect-fail"]
+        ) == 0
+        assert leakage.main(
+            ["--baseline", str(baseline), "--candidate", str(baseline),
+             "--expect-fail"]
+        ) == 1
+
+    def test_malformed_artifact_exits_2_with_message(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        good = self.write(tmp_path, "good.json", leakage_doc())
+        assert leakage.main(
+            ["--baseline", str(bad), "--candidate", str(good)]
+        ) == 2
+        assert "unreadable" in capsys.readouterr().err

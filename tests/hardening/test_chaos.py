@@ -1,0 +1,104 @@
+"""Hardening and chaos engineering compose.
+
+Survivable fault plans (transient drop/corrupt/delay faults strictly
+below the retry budget — see ``tests/faults/test_equivalence.py``) must
+not interact with the padding layer: a hardened run under such a plan
+still returns exactly the fault-free reference join, and a hardened
+differential audit whose every protocol run is fault-injected still
+lands inside the hardened envelope — the retries a plan forces are a
+function of the (invariant) message sequence, so adjacent workloads
+trigger them identically.
+"""
+
+import pytest
+
+from repro import reference_join, run_join_query
+from repro.analysis.audit import (
+    HARDENED_GATE_RULES,
+    AuditConfig,
+    differential_audit,
+)
+from repro.faults import FaultInjector, FaultyTransport
+from repro.mediation.network import Network
+
+from tests.faults.test_equivalence import build_federation, survivable_plan
+from tests.hardening.conftest import envelope_breaches, spec_with_seed
+
+QUERY = "select * from R1 natural join R2"
+PROTOCOLS = ["das", "commutative", "private-matching"]
+
+
+def run_hardened_under_plan(ca, client, workload, protocol, seed):
+    injector = FaultInjector(survivable_plan(seed))
+    network = FaultyTransport(Network(), injector)
+    try:
+        federation = build_federation(ca, client, workload, network)
+        result = run_join_query(
+            federation, QUERY, protocol=protocol, on_failure="return",
+            hardening=True,
+        )
+        expected = reference_join(federation, QUERY)
+    finally:
+        network.close()
+    return result, expected, injector
+
+
+class TestHardenedSurvivablePlans:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", [101, 303])
+    def test_hardened_result_equals_fault_free_reference(
+        self, ca, client, workload, protocol, seed
+    ):
+        result, expected, injector = run_hardened_under_plan(
+            ca, client, workload, protocol, seed
+        )
+        assert result.ok, (
+            f"survivable plan (seed={seed}) killed the hardened run: "
+            f"{result.error_message}\n{injector.event_log_text()}"
+        )
+        assert result.global_result == expected
+        assert result.artifacts["hardening"]["enabled"] is True
+
+    def test_plans_actually_inject_faults_into_hardened_runs(
+        self, ca, client, workload
+    ):
+        """Vacuity guard: at least one generated rule must fire."""
+        fired = 0
+        for seed in (101, 303):
+            _, _, injector = run_hardened_under_plan(
+                ca, client, workload, "commutative", seed
+            )
+            fired += len(injector.event_log())
+        assert fired > 0
+
+
+class TestHardenedAuditUnderFaults:
+    def test_distances_stay_in_envelope_under_survivable_faults(
+        self, ca, client
+    ):
+        """Every audited run rides a fresh FaultyTransport built from
+        the same seeded plan, so base and adjacent runs see identical
+        fault schedules — and the hardened distances stay zero."""
+        from repro import Federation
+        from repro.mediation.access_control import allow_all
+
+        def factory(workload, network):
+            faulty = FaultyTransport(
+                network, FaultInjector(survivable_plan(202))
+            )
+            federation = Federation(ca=ca, network=faulty)
+            federation.add_source("S1", [(workload.relation_1, allow_all())])
+            federation.add_source("S2", [(workload.relation_2, allow_all())])
+            federation.attach_client(client)
+            return federation
+
+        document = differential_audit(
+            AuditConfig(
+                spec=spec_with_seed(11),
+                hardened=True,
+                protocols=("commutative",),
+            ),
+            federation_factory=factory,
+        )
+        breaches = envelope_breaches(document, HARDENED_GATE_RULES)
+        assert breaches == [], breaches
