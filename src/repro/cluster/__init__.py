@@ -1,0 +1,38 @@
+"""Horizontal mediator scale-out: a sharded fleet behind a session-affine
+router.
+
+The paper's mediator is one logical party; this package makes it an
+*elastic service* (cf. arXiv 1312.4012, arXiv 2103.05792) without
+changing a byte of what any protocol party — or any adversary — sees:
+
+* :class:`~repro.cluster.ring.HashRing` — deterministic consistent
+  hashing of session ids onto shard labels, with virtual nodes so load
+  spreads evenly and shard removal only re-maps the removed shard's
+  segment.
+* :class:`~repro.cluster.router.ShardRouter` — a frame-level TCP proxy
+  that speaks the existing wire protocol on behalf of the mediator,
+  pins every session to one shard (shared-nothing
+  :class:`~repro.session.SessionRegistry` state stays shard-local), and
+  fails new sessions over on BUSY — which is how shard drain rebalances
+  the ring.
+* :class:`~repro.cluster.harness.LocalCluster` /
+  :class:`~repro.cluster.harness.ClusterTransport` — in-process
+  router + N-shard fleets on loopback ports, for tests, benchmarks,
+  and ``repro loadgen --cluster``.
+
+See ``docs/cluster.md`` for the ring layout, the drain protocol, and
+the failure semantics.
+"""
+
+from repro.cluster.harness import ClusterTransport, LocalCluster
+from repro.cluster.ring import HashRing
+from repro.cluster.router import RouterStats, ShardRouter, fetch_router_stats
+
+__all__ = [
+    "ClusterTransport",
+    "HashRing",
+    "LocalCluster",
+    "RouterStats",
+    "ShardRouter",
+    "fetch_router_stats",
+]

@@ -1,0 +1,214 @@
+"""In-process router + shard fleets: the cluster on loopback ports.
+
+Everything here is real networking — every frame crosses real sockets
+through the real :class:`~repro.cluster.router.ShardRouter` to real
+:class:`~repro.transport.server.PartyServer` shards — just hosted
+inside one process on a private event loop, the same trick
+:class:`~repro.transport.tcp.TcpTransport` uses for locally hosted
+endpoints.  Two entry points:
+
+* :class:`LocalCluster` — N mediator shards behind a router, plus any
+  source endpoints, with direct handles on every server for tests and
+  ``repro loadgen --cluster`` (drain a shard, kill a shard, read its
+  records).
+* :class:`ClusterTransport` — a :class:`TcpTransport` whose
+  ``mediator`` endpoint *is* a private cluster: drop-in wherever a
+  transport is expected (the differential leakage audit's
+  ``--transport cluster`` carrier), closing the fleet with the
+  transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Mapping
+
+from repro.cluster.router import ShardRouter
+from repro.errors import NetworkError
+from repro.transport.server import PartyServer
+from repro.transport.tcp import RetryPolicy, TcpTransport
+
+
+class LocalCluster:
+    """A live router + N-shard mediator fleet on loopback ports.
+
+    Shard labels are ``{party}-{k}`` for ``k`` in ``1..shards`` —
+    the same labels ``repro serve mediator --shard k/N`` derives — so
+    in-process placement matches a multi-process deployment of the
+    same fleet shape.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        party: str = "mediator",
+        sources: tuple[str, ...] = (),
+        shard_options: Mapping[str, Any] | None = None,
+        source_options: Mapping[str, Any] | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if shards < 1:
+            raise NetworkError(f"a cluster needs >= 1 shard, got {shards}")
+        self.party = party
+        self._host = host
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-cluster", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+        self.shard_servers: dict[str, PartyServer] = {}
+        self.source_servers: dict[str, PartyServer] = {}
+        self.endpoints: dict[str, tuple[str, int]] = {}
+        try:
+            shard_endpoints: dict[str, tuple[str, int]] = {}
+            for index in range(1, shards + 1):
+                label = f"{party}-{index}"
+                server = PartyServer(
+                    party, host=host, port=0, **dict(shard_options or {})
+                )
+                shard_endpoints[label] = self._run(server.start())
+                self.shard_servers[label] = server
+            for source in sources:
+                server = PartyServer(
+                    source, host=host, port=0, **dict(source_options or {})
+                )
+                self.endpoints[source] = self._run(server.start())
+                self.source_servers[source] = server
+            self.router = ShardRouter(shard_endpoints, party=party, host=host)
+            self.endpoints[party] = self._run(self.router.start())
+        except BaseException:
+            self.close()
+            raise
+
+    # -- loop plumbing -----------------------------------------------------
+
+    def _run(self, coroutine) -> Any:
+        if self._closed:
+            coroutine.close()
+            raise NetworkError("cluster is closed")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def router_endpoint(self) -> tuple[str, int]:
+        return self.endpoints[self.party]
+
+    @property
+    def shard_labels(self) -> list[str]:
+        return sorted(self.shard_servers)
+
+    def drain(self, label: str) -> None:
+        """Begin draining one shard: it refuses new sessions with BUSY
+        (the router re-maps its ring segment) while in-flight sessions
+        finish."""
+        server = self.shard_servers[label]
+        self._loop.call_soon_threadsafe(server.drain)
+
+    def kill(self, label: str) -> None:
+        """Stop one shard outright — the ungraceful failure."""
+        self._run(self.shard_servers[label].stop())
+
+    def stats(self) -> dict:
+        """The router's ``repro-router/1`` statistics document."""
+        return self.router.stats()
+
+    def shard_records(self) -> dict[str, int]:
+        """Data messages recorded per shard (the balance evidence)."""
+        return {
+            label: len(server.records)
+            for label, server in sorted(self.shard_servers.items())
+        }
+
+    def telemetry_snapshots(self) -> list[dict]:
+        """Every hosted endpoint's telemetry snapshot (shards first)."""
+        snapshots = [
+            server.telemetry_snapshot()
+            for _, server in sorted(self.shard_servers.items())
+        ]
+        snapshots.extend(
+            server.telemetry_snapshot()
+            for _, server in sorted(self.source_servers.items())
+        )
+        return snapshots
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _shutdown() -> None:
+            if hasattr(self, "router"):
+                await self.router.stop()
+            for server in self.shard_servers.values():
+                await server.stop()
+            for server in self.source_servers.values():
+                await server.stop()
+
+        future = asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        try:
+            future.result(timeout=5.0)
+        except Exception:
+            future.cancel()
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+            if not self._thread.is_alive():
+                self._loop.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ClusterTransport(TcpTransport):
+    """A TcpTransport whose mediator endpoint is a private shard fleet.
+
+    Registering the mediator party handshakes the router; every other
+    party is hosted locally exactly as a plain :class:`TcpTransport`
+    would.  Used as the ``cluster`` carrier of the differential
+    leakage audit (``repro audit --differential --transport cluster``)
+    and by the byte-identity suites: with ``shards=1`` the routed path
+    must be byte-for-byte the single-mediator path.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        party: str = "mediator",
+        retry: RetryPolicy | None = None,
+        host: str = "127.0.0.1",
+        server_options: Mapping[str, Any] | None = None,
+        shard_options: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.cluster = LocalCluster(
+            shards,
+            party=party,
+            shard_options=shard_options if shard_options is not None
+            else server_options,
+            host=host,
+        )
+        try:
+            super().__init__(
+                endpoints={party: self.cluster.router_endpoint},
+                retry=retry,
+                host=host,
+                server_options=server_options,
+            )
+        except BaseException:
+            self.cluster.close()
+            raise
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self.cluster.close()

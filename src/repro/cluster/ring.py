@@ -1,0 +1,125 @@
+"""Consistent hashing of session ids onto mediator shards.
+
+The router pins every session to one shard for its whole lifetime
+(shared-nothing :class:`~repro.session.SessionRegistry` state lives on
+exactly one shard), so the placement function must be:
+
+* **deterministic** — every router instance, restarted or replicated,
+  maps the same session id to the same shard given the same shard set;
+* **minimal under change** — removing a shard re-maps only the keys
+  that shard owned; adding one steals only the segment it now owns
+  (classic consistent hashing, Karger et al.);
+* **balanced** — virtual nodes (``replicas`` points per shard on the
+  ring) keep the largest segment within a small factor of the mean.
+
+Hashing is SHA-256 over UTF-8 — stable across processes, platforms,
+and Python versions (``hash()`` is salted per process and useless
+here).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ProtocolError
+
+#: Virtual nodes per shard.  64 keeps segment sizes within ~25% of the
+#: mean for small fleets while ring construction stays trivial.
+DEFAULT_REPLICAS = 64
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring position for a key."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring of shard labels with virtual nodes."""
+
+    def __init__(
+        self, shards: list[str] | tuple[str, ...] = (),
+        *, replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ProtocolError(f"ring replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []       # sorted ring positions
+        self._owners: dict[int, str] = {}  # position -> shard label
+        self._shards: set[str] = set()
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, shard: str) -> None:
+        """Add a shard's virtual nodes to the ring (idempotent)."""
+        if not shard:
+            raise ProtocolError("shard label must be non-empty")
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        for replica in range(self.replicas):
+            point = _point(f"{shard}#{replica}")
+            # A 64-bit collision between distinct labels is effectively
+            # impossible; first writer keeps the point.
+            if point not in self._owners:
+                self._owners[point] = shard
+                bisect.insort(self._points, point)
+
+    def remove(self, shard: str) -> None:
+        """Remove a shard's virtual nodes (idempotent)."""
+        if shard not in self._shards:
+            return
+        self._shards.discard(shard)
+        doomed = [
+            point for point, owner in self._owners.items() if owner == shard
+        ]
+        for point in doomed:
+            del self._owners[point]
+        doomed_set = set(doomed)
+        self._points = [p for p in self._points if p not in doomed_set]
+
+    @property
+    def shards(self) -> list[str]:
+        """Member shard labels, sorted."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    # -- placement ---------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: the first virtual node at or after
+        the key's ring position, wrapping at the top."""
+        owners = self.owners(key)
+        if not owners:
+            raise ProtocolError("cannot place a key on an empty ring")
+        return owners[0]
+
+    def owners(self, key: str) -> list[str]:
+        """Every shard in *preference order* for ``key``.
+
+        The first entry is the owner; the rest are the failover order a
+        router walks when the owner refuses a new session (draining or
+        at capacity).  Walking the ring clockwise and keeping the first
+        occurrence of each shard makes the order deterministic and —
+        crucially — makes failover placement agree across routers.
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect_left(self._points, _point(key))
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            shard = self._owners[point]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == len(self._shards):
+                    break
+        return seen

@@ -34,7 +34,10 @@ import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:
+    from repro.cluster import LocalCluster
 
 from repro.core.federation import Federation
 from repro.core.runner import PROTOCOLS, crypto_context, run_join_query
@@ -90,6 +93,17 @@ class LoadgenConfig:
     #: the same relations amortizes its encrypted indexes across the
     #: whole load run.  ``None`` disables storage (the legacy shape).
     storage_spec: str | None = None
+    #: Cluster mode: host ``shards`` mediator shard endpoints behind a
+    #: session-affine :class:`~repro.cluster.router.ShardRouter` instead
+    #: of a single mediator endpoint (``docs/cluster.md``).  With
+    #: ``endpoints`` given, the mediator endpoint is assumed to *be* a
+    #: router and per-shard stats are fetched from it (STATS frame).
+    cluster: bool = False
+    shards: int = 2
+    #: Worker slots per mediator shard in cluster mode (``None`` keeps
+    #: the server default); the knob the scaling benchmark uses to
+    #: model per-shard service capacity.
+    shard_max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -98,6 +112,8 @@ class LoadgenConfig:
             raise ProtocolError("loadgen needs at least one query per session")
         if self.concurrency is not None and self.concurrency < 1:
             raise ProtocolError("loadgen concurrency must be >= 1")
+        if self.shards < 1:
+            raise ProtocolError("loadgen needs at least one shard")
         if self.protocol not in PROTOCOLS:
             raise ProtocolError(
                 f"unknown protocol {self.protocol!r}; "
@@ -143,6 +159,11 @@ class LoadReport:
     #: Crypto self-description: bigint backend, engine mode, workers —
     #: makes the JSON report comparable across hosts and backends.
     crypto: dict[str, Any] | None = None
+    #: Cluster evidence when the load ran against a sharded mediator
+    #: fleet (None otherwise): shard count, the router's
+    #: ``repro-router/1`` stats document, and — for an in-process
+    #: fleet — data messages recorded per shard.
+    cluster: dict[str, Any] | None = None
 
     # -- derived metrics ---------------------------------------------------
 
@@ -193,6 +214,7 @@ class LoadReport:
             "stitching": self.stitching,
             "storage": self.storage,
             "crypto": self.crypto,
+            "cluster": self.cluster,
             "outcomes": [
                 {
                     "session": outcome.session,
@@ -228,6 +250,17 @@ class LoadReport:
             lines.append(
                 f"  stitching  {len(self.stitching)} sessions, "
                 f"{spans} client spans, {endpoint} endpoint spans"
+            )
+        if self.cluster is not None:
+            router = self.cluster.get("router") or {}
+            shard_bits = ", ".join(
+                f"{shard['label']}={shard['sessions']}s/{shard['frames']}f"
+                f"{'+' + str(shard['busy_redirects']) + 'busy' if shard['busy_redirects'] else ''}"
+                for shard in router.get("shards", [])
+            )
+            lines.append(
+                f"  cluster    {self.cluster['shards']} shards"
+                + (f": {shard_bits}" if shard_bits else "")
             )
         if self.crypto is not None:
             lines.append(
@@ -292,11 +325,29 @@ def run_load(
     )
     retry = RetryPolicy(io_timeout=config.io_timeout)
     hub: TcpTransport | None = None
+    cluster: "LocalCluster | None" = None
+    remote_router = config.cluster and endpoints is not None
     workers: list[_Worker] = []
     tracer = Tracer(service="loadgen")
     storage = storage_from_spec(config.storage_spec)
     try:
-        if endpoints is None:
+        if endpoints is None and config.cluster:
+            from repro.cluster import LocalCluster
+
+            shard_options: dict[str, Any] = {
+                "ack_delay": config.ack_delay,
+                "max_sessions": config.max_sessions,
+            }
+            if config.shard_max_workers is not None:
+                shard_options["max_workers"] = config.shard_max_workers
+            cluster = LocalCluster(
+                config.shards,
+                sources=TRIO[1:],
+                shard_options=shard_options,
+                source_options={"max_sessions": config.max_sessions},
+            )
+            endpoints = dict(cluster.endpoints)
+        elif endpoints is None:
             hub = TcpTransport(
                 retry=retry,
                 server_options={
@@ -343,8 +394,16 @@ def run_load(
             wall_seconds=wall_seconds,
             outcomes=[outcome for outcomes in per_worker for outcome in outcomes],
         )
-        report.stitching = _stitch(tracer, workers, hub)
+        report.stitching = _stitch(tracer, workers, hub, cluster)
         report.crypto = crypto_context()
+        if cluster is not None:
+            report.cluster = {
+                "shards": config.shards,
+                "router": cluster.stats(),
+                "per_shard_records": cluster.shard_records(),
+            }
+        elif remote_router:
+            report.cluster = _remote_cluster_stats(endpoints)
         if storage is not None:
             totals = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
             for worker in workers:
@@ -362,6 +421,8 @@ def run_load(
             worker.transport.close()
         if hub is not None:
             hub.close()
+        if cluster is not None:
+            cluster.close()
         if storage is not None:
             storage.close()
 
@@ -401,14 +462,31 @@ def _run_worker(worker: _Worker, config: LoadgenConfig) -> list[QueryOutcome]:
     return outcomes
 
 
+def _remote_cluster_stats(
+    endpoints: Mapping[str, tuple[str, int]],
+) -> dict[str, Any] | None:
+    """Per-shard stats from a remote router's STATS frame, if it is one."""
+    from repro.cluster import fetch_router_stats
+    from repro.errors import NetworkError
+
+    host, port = endpoints[TRIO[0]]
+    try:
+        stats = fetch_router_stats(host, port)
+    except NetworkError:
+        # The mediator endpoint is a plain (unsharded) serve process.
+        return None
+    return {"shards": len(stats.get("shards", [])), "router": stats}
+
+
 def _stitch(
     tracer: Tracer,
     workers: list[_Worker],
     hub: TcpTransport | None,
+    cluster: "LocalCluster | None" = None,
 ) -> dict[str, dict[str, int]]:
     """Per-session trace evidence: client spans, distinct traces, and —
-    for an in-process trio — the ``recv:`` spans each endpoint keyed
-    under the same session id."""
+    for an in-process trio or cluster — the ``recv:`` spans each
+    endpoint (every shard included) keyed under the same session id."""
     stitching: dict[str, dict[str, int]] = {}
     snapshots = []
     if hub is not None:
@@ -416,6 +494,8 @@ def _stitch(
             server = hub.local_server(party)
             if server is not None:
                 snapshots.append(server.telemetry_snapshot())
+    if cluster is not None:
+        snapshots.extend(cluster.telemetry_snapshots())
     for worker in workers:
         session_id = worker.session_id
         spans = [

@@ -59,6 +59,7 @@ The richer, seeded fault model lives in :mod:`repro.faults`.
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Callable
 from dataclasses import asdict, dataclass
 
 from repro.errors import NetworkError
@@ -122,7 +123,7 @@ class PartyServer:
         port: int = 0,
         *,
         max_messages: int | None = None,
-        on_message=None,
+        on_message: Callable[[RemoteRecord], None] | None = None,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         session_ttl: float | None = DEFAULT_SESSION_TTL,
         max_workers: int = DEFAULT_MAX_WORKERS,
@@ -159,6 +160,9 @@ class PartyServer:
         )
         #: Bounds concurrent DATA processing across sessions.
         self._worker_slots = asyncio.Semaphore(max_workers)
+        #: Draining endpoints finish in-flight sessions but answer BUSY
+        #: to any *new* session — the graceful half of shard removal.
+        self._draining = False
         #: Simulated per-message service latency (models the link RTT a
         #: distributed deployment would pay); concurrent sessions
         #: overlap it, sequential clients pay it serially.
@@ -200,6 +204,32 @@ class PartyServer:
         async with self._server:
             await self._server.serve_forever()
 
+    # -- draining ----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop admitting new sessions; in-flight sessions finish.
+
+        The graceful half of shard removal (see ``docs/cluster.md``):
+        a draining endpoint answers the first message of any *new*
+        session with BUSY — upstream routers fail the session over to a
+        live shard — while known live sessions (and legacy session-less
+        traffic) proceed untouched.  Once :meth:`active_sessions`
+        reaches zero the process can exit without failing anyone.
+        """
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def active_sessions(self) -> int:
+        """Live sessions excluding the legacy slot — what a draining
+        endpoint waits on before shutting down."""
+        return sum(
+            1 for session_id in self.sessions.ids()
+            if session_id != LEGACY_SESSION
+        )
+
     # -- connection handling ----------------------------------------------
 
     async def _handle(
@@ -218,6 +248,8 @@ class PartyServer:
                     return
                 if done:
                     return
+        except asyncio.CancelledError:
+            return  # loop shutdown cancelled this connection mid-read
         finally:
             self._writers.discard(writer)
             writer.close()
@@ -360,9 +392,8 @@ class PartyServer:
         """
         if session_id is None:
             session_id = LEGACY_SESSION
-        elif (
-            session_id not in self.sessions
-            and len(self.sessions) >= self.max_sessions
+        elif session_id not in self.sessions and (
+            self._draining or len(self.sessions) >= self.max_sessions
         ):
             return None
         opened = session_id not in self.sessions
@@ -390,6 +421,7 @@ class PartyServer:
                     "party": self.party,
                     "sessions": len(self.sessions),
                     "max_sessions": self.max_sessions,
+                    "draining": self._draining,
                 }
             ),
         )

@@ -1,0 +1,22 @@
+"""Cluster-suite fixtures (the audit factory mirrors tests/hardening)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Federation
+from repro.mediation.access_control import allow_all
+
+
+@pytest.fixture
+def audit_factory(ca, client):
+    """``differential_audit`` federation factory on session keys."""
+
+    def factory(workload, network):
+        federation = Federation(ca=ca, network=network)
+        federation.add_source("S1", [(workload.relation_1, allow_all())])
+        federation.add_source("S2", [(workload.relation_2, allow_all())])
+        federation.attach_client(client)
+        return federation
+
+    return factory

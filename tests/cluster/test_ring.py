@@ -1,0 +1,122 @@
+"""The consistent-hash ring underneath session-affine routing.
+
+The router's correctness rests on three ring properties
+(docs/cluster.md): placement is deterministic across router instances,
+shard removal re-maps only the removed shard's keys, and virtual nodes
+keep the segments balanced enough that a small fleet shares load.
+"""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.errors import ProtocolError
+
+SHARDS = ["mediator-1", "mediator-2", "mediator-3", "mediator-4"]
+KEYS = [f"session-{index:04d}" for index in range(512)]
+
+
+class TestDeterminism:
+    def test_same_shards_same_owners_across_instances(self):
+        first = HashRing(SHARDS)
+        second = HashRing(list(reversed(SHARDS)))  # insertion order is moot
+        for key in KEYS:
+            assert first.owner(key) == second.owner(key)
+
+    def test_owners_is_a_permutation_in_stable_preference_order(self):
+        ring = HashRing(SHARDS)
+        again = HashRing(SHARDS)
+        for key in KEYS[:64]:
+            order = ring.owners(key)
+            assert sorted(order) == sorted(SHARDS)
+            assert order == again.owners(key)
+            assert order[0] == ring.owner(key)
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(SHARDS)
+        ring.add("mediator-2")
+        assert ring.shards == sorted(SHARDS)
+        ring.remove("ghost")
+        ring.remove("mediator-2")
+        ring.remove("mediator-2")
+        assert ring.shards == sorted(set(SHARDS) - {"mediator-2"})
+
+
+class TestRemapMinimality:
+    def test_removing_a_shard_remaps_only_its_keys(self):
+        ring = HashRing(SHARDS)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove("mediator-3")
+        for key, owner in before.items():
+            if owner == "mediator-3":
+                assert ring.owner(key) != "mediator-3"
+            else:
+                assert ring.owner(key) == owner, key
+
+    def test_adding_a_shard_only_steals_keys(self):
+        ring = HashRing(SHARDS[:3])
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.add("mediator-4")
+        moved = 0
+        for key, owner in before.items():
+            after = ring.owner(key)
+            if after != owner:
+                # A key only ever moves *to* the new shard.
+                assert after == "mediator-4", key
+                moved += 1
+        assert 0 < moved < len(KEYS)
+
+    def test_failover_order_skips_exactly_the_removed_shard(self):
+        """The router's BUSY failover (try owners()[1]) must agree with
+        the ring after the drained shard is removed — that is what makes
+        drain equal re-mapping the ring segment."""
+        ring = HashRing(SHARDS)
+        shrunk = HashRing(SHARDS)
+        shrunk.remove("mediator-2")
+        for key in KEYS[:128]:
+            survivors = [
+                shard for shard in ring.owners(key) if shard != "mediator-2"
+            ]
+            assert survivors == shrunk.owners(key), key
+
+
+class TestBalance:
+    def test_every_shard_owns_a_reasonable_share(self):
+        ring = HashRing(SHARDS)
+        counts: dict[str, int] = {shard: 0 for shard in SHARDS}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        mean = len(KEYS) / len(SHARDS)
+        for shard, count in counts.items():
+            assert count > mean / 3, (shard, counts)
+            assert count < mean * 3, (shard, counts)
+
+    def test_default_replicas(self):
+        assert HashRing(["only"]).replicas == DEFAULT_REPLICAS
+
+
+class TestEdgeCases:
+    def test_empty_ring_refuses_placement(self):
+        ring = HashRing()
+        assert ring.owners("anything") == []
+        with pytest.raises(ProtocolError):
+            ring.owner("anything")
+
+    def test_empty_label_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            HashRing([""])
+
+    def test_replicas_validated(self):
+        with pytest.raises(ProtocolError):
+            HashRing(["a"], replicas=0)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["mediator-1"])
+        for key in KEYS[:32]:
+            assert ring.owner(key) == "mediator-1"
+            assert ring.owners(key) == ["mediator-1"]
+
+    def test_membership_protocol(self):
+        ring = HashRing(SHARDS)
+        assert len(ring) == len(SHARDS)
+        assert "mediator-1" in ring
+        assert "ghost" not in ring
